@@ -1,0 +1,263 @@
+package streamha_test
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation, one testing.B benchmark per figure. Each benchmark runs the
+// corresponding experiment from internal/experiment and reports the
+// figure's headline quantities as custom benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the paper end to end (expect several minutes; the experiments
+// run real pipelines). Individual figures:
+//
+//	go test -bench=BenchmarkFig07 -benchtime=1x
+//
+// The streamha-bench command prints the same results as full tables.
+
+import (
+	"testing"
+	"time"
+
+	"streamha/internal/experiment"
+	"streamha/internal/failure"
+	"streamha/internal/ha"
+)
+
+// benchParams returns reduced-but-faithful parameters so the whole harness
+// completes in minutes.
+func benchParams() experiment.Params {
+	p := experiment.DefaultParams()
+	p.Run = 2 * time.Second
+	return p
+}
+
+func BenchmarkFig01ProcessingTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFig01(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.CleanMean.Seconds()*1e3, "clean-ms")
+		b.ReportMetric(r.LoadedMean.Seconds()*1e3, "loaded-ms")
+		b.ReportMetric(float64(r.LoadedMean)/float64(r.CleanMean), "slowdown-x")
+	}
+}
+
+func BenchmarkFig02InterFailureCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.RunFig02And03(failure.DefaultTraceConfig())
+		b.ReportMetric(r.FractionUnder60s, "frac-under-60s")
+	}
+}
+
+func BenchmarkFig03DurationCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.RunFig02And03(failure.DefaultTraceConfig())
+		b.ReportMetric(r.FractionDurUnder10s, "frac-under-10s")
+		b.ReportMetric(r.FractionDurOver20s, "frac-over-20s")
+	}
+}
+
+func BenchmarkFig04DelayVsLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFig04(benchParams(), nil, []float64{0.3, 0.5, 0.8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: mean delay per mode at the heaviest failure load.
+		perMode := map[ha.Mode]time.Duration{}
+		for _, pt := range r.Points {
+			if pt.FailureFraction == 0.8 {
+				perMode[pt.Mode] = pt.MeanDelay
+			}
+		}
+		b.ReportMetric(perMode[ha.ModeNone].Seconds()*1e3, "none-ms")
+		b.ReportMetric(perMode[ha.ModeActive].Seconds()*1e3, "as-ms")
+		b.ReportMetric(perMode[ha.ModePassive].Seconds()*1e3, "ps-ms")
+		b.ReportMetric(perMode[ha.ModeHybrid].Seconds()*1e3, "hybrid-ms")
+	}
+}
+
+func BenchmarkFig05Multiplexing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFig05(benchParams(), []float64{0.1, 0.3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pt := range r.Points {
+			if pt.FailureFraction == 0.3 && pt.DedicatedDelay > 0 {
+				b.ReportMetric(float64(pt.SharedDelay)/float64(pt.DedicatedDelay), "shared-vs-dedicated-x")
+			}
+		}
+	}
+}
+
+func BenchmarkFig06Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFig06(benchParams(), nil, []float64{10000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		byLabel := map[string]int64{}
+		for _, pt := range r.Points {
+			byLabel[pt.Label] = pt.Elements
+		}
+		if base := byLabel["none"]; base > 0 {
+			b.ReportMetric(float64(byLabel["as"])/float64(base), "as-vs-none-x")
+			b.ReportMetric(float64(byLabel["ps-500ms"])/float64(base), "ps500-vs-none-x")
+			b.ReportMetric(float64(byLabel["hybrid-500ms"])/float64(base), "hybrid500-vs-none-x")
+		}
+	}
+}
+
+func BenchmarkFig07RecoveryVsHeartbeat(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFig07(benchParams(), []time.Duration{20 * time.Millisecond, 60 * time.Millisecond}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var psTotal, hyTotal time.Duration
+		n := 0
+		for _, row := range r.Rows {
+			switch row.Mode {
+			case ha.ModePassive:
+				psTotal += row.Total()
+				n++
+			case ha.ModeHybrid:
+				hyTotal += row.Total()
+			}
+		}
+		if psTotal > 0 {
+			b.ReportMetric(float64(hyTotal)/float64(psTotal), "hybrid-vs-ps-total-x")
+		}
+		b.ReportMetric(float64(n), "points")
+	}
+}
+
+func BenchmarkFig08RecoveryVsCheckpoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFig08(benchParams(), []time.Duration{20 * time.Millisecond, 100 * time.Millisecond}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Mode == ha.ModeHybrid && row.Param == 100*time.Millisecond {
+				b.ReportMetric(row.Total().Seconds()*1e3, "hybrid-total-ms")
+			}
+		}
+	}
+}
+
+func BenchmarkFig09SwitchRollbackTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFig09And10(benchParams(), []float64{100, 700}, []time.Duration{time.Second}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pt := range r.Points {
+			if pt.Rate == 700 {
+				b.ReportMetric(pt.SwitchoverTime.Seconds()*1e3, "switchover-ms")
+				b.ReportMetric(pt.RollbackTime.Seconds()*1e3, "rollback-ms")
+			}
+		}
+	}
+}
+
+func BenchmarkFig10SwitchRollbackOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFig09And10(benchParams(), []float64{100, 700}, []time.Duration{time.Second}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pt := range r.Points {
+			if pt.Rate == 700 {
+				b.ReportMetric(float64(pt.OverheadElements), "overhead-elems")
+				b.ReportMetric(float64(pt.ReadStateElements), "read-state-elems")
+			}
+		}
+	}
+}
+
+func BenchmarkFig11OverheadVsPEs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFig11(benchParams(), []int{1, 4, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := r.Points[0], r.Points[len(r.Points)-1]
+		if first.CheckpointElements > 0 {
+			b.ReportMetric(float64(last.CheckpointElements)/float64(first.CheckpointElements), "ckpt-8pe-vs-1pe-x")
+		}
+	}
+}
+
+func BenchmarkFig12DetectionRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFig12And13(benchParams(), []float64{0.6, 0.95}, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pt := range r.Points {
+			switch pt.Load {
+			case 0.6:
+				b.ReportMetric(pt.Heartbeat.DetectionRatio(), "hb-detect-60")
+				b.ReportMetric(pt.Benchmark.DetectionRatio(), "bm-detect-60")
+			case 0.95:
+				b.ReportMetric(pt.Heartbeat.DetectionRatio(), "hb-detect-95")
+			}
+		}
+	}
+}
+
+func BenchmarkFig13FalseAlarmRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFig12And13(benchParams(), []float64{0.9}, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pt := range r.Points {
+			b.ReportMetric(pt.Heartbeat.FalseAlarmRatio(), "hb-false-alarm")
+			b.ReportMetric(pt.Benchmark.FalseAlarmRatio(), "bm-false-alarm")
+		}
+	}
+}
+
+func BenchmarkSweepingVsAlternatives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunSweeping(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		byLabel := map[string]experiment.SweepingRow{}
+		for _, row := range r.Rows {
+			byLabel[row.Label] = row
+		}
+		sw, sy := byLabel["sweeping"], byLabel["synchronous"]
+		if sw.Elements > 0 {
+			b.ReportMetric(float64(sy.Elements)/float64(sw.Elements), "sync-vs-sweeping-elems-x")
+		}
+		if sw.MeanPause > 0 {
+			b.ReportMetric(float64(sy.MeanPause)/float64(sw.MeanPause), "sync-vs-sweeping-pause-x")
+		}
+	}
+}
+
+func BenchmarkAblationHybridOptimizations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunAblation(benchParams(), nil, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		byLabel := map[string]experiment.AblationRow{}
+		for _, row := range r.Rows {
+			byLabel[row.Label] = row
+		}
+		full := byLabel["full-hybrid"]
+		if noPre := byLabel["no-predeploy"]; noPre.Phases.Deploy > 0 {
+			b.ReportMetric(float64(full.Phases.Deploy)/float64(noPre.Phases.Deploy), "predeploy-deploy-x")
+		}
+		if threeMiss := byLabel["3-miss-trigger"]; threeMiss.Phases.Detection > 0 {
+			b.ReportMetric(float64(full.Phases.Detection)/float64(threeMiss.Phases.Detection), "firstmiss-detect-x")
+		}
+	}
+}

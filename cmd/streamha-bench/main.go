@@ -1,0 +1,189 @@
+// Command streamha-bench regenerates the paper's tables and figures as
+// text tables.
+//
+// Usage:
+//
+//	streamha-bench -fig all            # every figure (several minutes)
+//	streamha-bench -fig 4              # one figure
+//	streamha-bench -fig 7 -quick      # reduced sweep for a fast look
+//
+// Figures: 1, 2 (covers 3), 4, 5, 6, 7, 8, 9 (covers 10), 11, 12 (covers
+// 13), plus "sweeping" (Section III) and "ablation" (Section IV-B).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"streamha/internal/experiment"
+	"streamha/internal/failure"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1,2,4,5,6,7,8,9,11,12,sweeping,ablation or all")
+	quick := flag.Bool("quick", false, "reduced sweeps and repeats for a fast look")
+	flag.Parse()
+
+	if err := run(*fig, *quick); err != nil {
+		fmt.Fprintf(os.Stderr, "streamha-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, quick bool) error {
+	params := experiment.DefaultParams()
+	repeats := 3
+	if quick {
+		params.Run = 1500 * time.Millisecond
+		repeats = 1
+	}
+
+	want := func(name string) bool { return fig == "all" || fig == name }
+	ran := false
+	show := func(t experiment.Table, elapsed time.Duration) {
+		ran = true
+		fmt.Println(t.Render())
+		fmt.Printf("(took %.1fs)\n\n", elapsed.Seconds())
+	}
+
+	if want("1") {
+		start := time.Now()
+		r, err := experiment.RunFig01(params)
+		if err != nil {
+			return err
+		}
+		show(r.Table(), time.Since(start))
+	}
+	if want("2") || want("3") {
+		start := time.Now()
+		r := experiment.RunFig02And03(failure.DefaultTraceConfig())
+		show(r.Table(), time.Since(start))
+	}
+	if want("4") {
+		start := time.Now()
+		fractions := experiment.Fig04Fractions
+		if quick {
+			fractions = []float64{0.3, 0.5, 0.8}
+		}
+		r, err := experiment.RunFig04(params, nil, fractions)
+		if err != nil {
+			return err
+		}
+		show(r.Table(), time.Since(start))
+	}
+	if want("5") {
+		start := time.Now()
+		fractions := experiment.Fig05Fractions
+		if quick {
+			fractions = []float64{0.1, 0.2, 0.3}
+		}
+		r, err := experiment.RunFig05(params, fractions)
+		if err != nil {
+			return err
+		}
+		show(r.Table(), time.Since(start))
+	}
+	if want("6") {
+		start := time.Now()
+		rates := experiment.Fig06Rates
+		if quick {
+			rates = []float64{4000, 10000}
+		}
+		r, err := experiment.RunFig06(params, nil, rates)
+		if err != nil {
+			return err
+		}
+		show(r.Table(), time.Since(start))
+	}
+	if want("7") {
+		start := time.Now()
+		intervals := experiment.Fig07Intervals
+		if quick {
+			intervals = intervals[:3]
+		}
+		r, err := experiment.RunFig07(params, intervals, repeats)
+		if err != nil {
+			return err
+		}
+		show(r.Table(), time.Since(start))
+	}
+	if want("8") {
+		start := time.Now()
+		intervals := experiment.Fig08Intervals
+		if quick {
+			intervals = intervals[:3]
+		}
+		r, err := experiment.RunFig08(params, intervals, repeats)
+		if err != nil {
+			return err
+		}
+		show(r.Table(), time.Since(start))
+	}
+	if want("9") || want("10") {
+		start := time.Now()
+		rates := experiment.Fig09Rates
+		outages := experiment.Fig09Outages
+		if quick {
+			rates = []float64{100, 700}
+			outages = outages[:1]
+		}
+		r, err := experiment.RunFig09And10(params, rates, outages, repeats)
+		if err != nil {
+			return err
+		}
+		show(r.Fig09Table(), time.Since(start))
+		fmt.Println(r.Fig10Table().Render())
+	}
+	if want("11") {
+		start := time.Now()
+		counts := experiment.Fig11PECounts
+		if quick {
+			counts = []int{1, 4, 8}
+		}
+		r, err := experiment.RunFig11(params, counts)
+		if err != nil {
+			return err
+		}
+		show(r.Table(), time.Since(start))
+	}
+	if want("12") || want("13") {
+		start := time.Now()
+		loads := experiment.Fig12Loads
+		spikes := 30
+		if quick {
+			loads = []float64{0.6, 0.8, 0.95}
+			spikes = 8
+		}
+		r, err := experiment.RunFig12And13(params, loads, spikes)
+		if err != nil {
+			return err
+		}
+		show(r.Fig12Table(), time.Since(start))
+		fmt.Println(r.Fig13Table().Render())
+	}
+	if want("sweeping") {
+		start := time.Now()
+		r, err := experiment.RunSweeping(params)
+		if err != nil {
+			return err
+		}
+		show(r.Table(), time.Since(start))
+	}
+	if want("ablation") {
+		start := time.Now()
+		r, err := experiment.RunAblation(params, nil, repeats)
+		if err != nil {
+			return err
+		}
+		show(r.Table(), time.Since(start))
+	}
+
+	if !ran {
+		return fmt.Errorf("unknown figure %q (try: %s)", fig,
+			strings.Join([]string{"1", "2", "4", "5", "6", "7", "8", "9", "11", "12", "sweeping", "ablation", "all"}, ", "))
+	}
+	return nil
+}

@@ -1,0 +1,310 @@
+// Command streamha-node runs one process of a multi-process streamha
+// deployment over real TCP sockets, demonstrating that the runtime's
+// transport abstraction holds beyond the in-process simulator.
+//
+// A deployment is described by one JSON file shared by all processes; each
+// process is started with the name of the process entry it should play:
+//
+//	streamha-node -config job.json -process feed
+//	streamha-node -config job.json -process workers
+//	streamha-node -config job.json -process dash
+//
+// Supported HA modes in multi-process operation are "none" and "active":
+// their data planes (duplicate delivery, deduplication, acknowledgment
+// trimming) are fully distributed. Passive and hybrid standby additionally
+// need the recovery control plane, which this reproduction implements
+// in-process (see internal/ha and internal/core); run those through the
+// library, the examples or streamha-demo.
+//
+// Example config:
+//
+//	{
+//	  "processes": {
+//	    "feed":    {"listen": "127.0.0.1:7101", "machines": ["src"]},
+//	    "workers": {"listen": "127.0.0.1:7102", "machines": ["p0", "p1", "s0", "s1"]},
+//	    "dash":    {"listen": "127.0.0.1:7103", "machines": ["sink"]}
+//	  },
+//	  "job": {
+//	    "id": "job",
+//	    "rate": 1000,
+//	    "source_machine": "src",
+//	    "sink_machine": "sink",
+//	    "subjobs": [
+//	      {"id": "sj0", "mode": "active", "primary": "p0", "secondary": "s0", "pes": 2, "cost_us": 100},
+//	      {"id": "sj1", "mode": "active", "primary": "p1", "secondary": "s1", "pes": 2, "cost_us": 100}
+//	    ]
+//	  },
+//	  "run_seconds": 10
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"streamha/internal/checkpoint"
+	"streamha/internal/clock"
+	"streamha/internal/cluster"
+	"streamha/internal/machine"
+	"streamha/internal/metrics"
+	"streamha/internal/pe"
+	"streamha/internal/subjob"
+	"streamha/internal/transport"
+)
+
+type deployment struct {
+	Processes  map[string]processDef `json:"processes"`
+	Job        jobDef                `json:"job"`
+	RunSeconds int                   `json:"run_seconds"`
+}
+
+type processDef struct {
+	Listen   string   `json:"listen"`
+	Machines []string `json:"machines"`
+}
+
+type jobDef struct {
+	ID            string      `json:"id"`
+	Rate          float64     `json:"rate"`
+	SourceMachine string      `json:"source_machine"`
+	SinkMachine   string      `json:"sink_machine"`
+	Subjobs       []subjobDef `json:"subjobs"`
+}
+
+type subjobDef struct {
+	ID        string `json:"id"`
+	Mode      string `json:"mode"`
+	Primary   string `json:"primary"`
+	Secondary string `json:"secondary"`
+	PEs       int    `json:"pes"`
+	CostUS    int    `json:"cost_us"`
+	StatePad  int    `json:"state_pad"`
+}
+
+func main() {
+	configPath := flag.String("config", "", "deployment JSON file (required)")
+	process := flag.String("process", "", "process entry to play (required)")
+	flag.Parse()
+	if *configPath == "" || *process == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*configPath, *process); err != nil {
+		fmt.Fprintf(os.Stderr, "streamha-node: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(configPath, process string) error {
+	raw, err := os.ReadFile(configPath)
+	if err != nil {
+		return err
+	}
+	var dep deployment
+	if err := json.Unmarshal(raw, &dep); err != nil {
+		return fmt.Errorf("parse %s: %w", configPath, err)
+	}
+	self, ok := dep.Processes[process]
+	if !ok {
+		return fmt.Errorf("process %q not in config", process)
+	}
+	for _, sj := range dep.Job.Subjobs {
+		if sj.Mode != "none" && sj.Mode != "active" {
+			return fmt.Errorf("subjob %s: mode %q is not supported multi-process (use none or active)", sj.ID, sj.Mode)
+		}
+	}
+
+	// Build the peer table: every machine hosted elsewhere maps to its
+	// process's listen address.
+	peers := map[transport.NodeID]string{}
+	for name, p := range dep.Processes {
+		if name == process {
+			continue
+		}
+		for _, m := range p.Machines {
+			peers[transport.NodeID(m)] = p.Listen
+		}
+	}
+
+	seg, err := transport.NewTCP(transport.TCPConfig{Listen: self.Listen, Peers: peers})
+	if err != nil {
+		return err
+	}
+	defer seg.Close()
+	clk := clock.New()
+
+	machines := map[string]*machine.Machine{}
+	for _, id := range self.Machines {
+		m, err := machine.New(id, clk, seg)
+		if err != nil {
+			return err
+		}
+		machines[id] = m
+	}
+
+	streams := make([]string, len(dep.Job.Subjobs)+1)
+	for i := range streams {
+		streams[i] = fmt.Sprintf("%s/s%d", dep.Job.ID, i)
+	}
+	specs := make([]subjob.Spec, len(dep.Job.Subjobs))
+	for i, def := range dep.Job.Subjobs {
+		owner := cluster.SourceOwner
+		if i > 0 {
+			owner = dep.Job.ID + "/" + dep.Job.Subjobs[i-1].ID
+		}
+		pes := make([]subjob.PESpec, max(1, def.PEs))
+		for j := range pes {
+			pad := def.StatePad
+			pes[j] = subjob.PESpec{
+				Name:     fmt.Sprintf("pe%d", j),
+				NewLogic: func() pe.Logic { return &pe.CounterLogic{Pad: pad} },
+				Cost:     time.Duration(def.CostUS) * time.Microsecond,
+			}
+		}
+		specs[i] = subjob.Spec{
+			JobID:     dep.Job.ID,
+			ID:        dep.Job.ID + "/" + def.ID,
+			InStreams: []string{streams[i]},
+			Owners:    map[string]string{streams[i]: owner},
+			OutStream: streams[i+1],
+			PEs:       pes,
+		}
+	}
+
+	// consumerTargets lists every copy of subjob i (or the sink) with its
+	// data-stream name — wiring each local producer needs it.
+	consumerTargets := func(i int) [][2]string {
+		if i == len(dep.Job.Subjobs) {
+			last := streams[len(streams)-1]
+			return [][2]string{{dep.Job.SinkMachine, subjob.DataStream(dep.Job.ID+"/sink", last)}}
+		}
+		def := dep.Job.Subjobs[i]
+		ds := subjob.DataStream(specs[i].ID, streams[i])
+		out := [][2]string{{def.Primary, ds}}
+		if def.Mode == "active" && def.Secondary != "" {
+			out = append(out, [2]string{def.Secondary, ds})
+		}
+		return out
+	}
+
+	var stop []func()
+
+	// Local subjob copies.
+	for i, def := range dep.Job.Subjobs {
+		for _, host := range copyHosts(def) {
+			m := machines[host]
+			if m == nil {
+				continue
+			}
+			rt, err := subjob.New(specs[i], m, false)
+			if err != nil {
+				return err
+			}
+			rt.Start()
+			for _, tgt := range consumerTargets(i + 1) {
+				rt.Out().Subscribe(transport.NodeID(tgt[0]), tgt[1], true)
+			}
+			acker := checkpoint.NewAcker(rt, clk, 20*time.Millisecond)
+			acker.Start()
+			stop = append(stop, acker.Stop, rt.Stop)
+			fmt.Printf("hosting subjob copy %s on %s\n", specs[i].ID, host)
+		}
+	}
+
+	// Local sink.
+	var sink *cluster.Sink
+	if m := machines[dep.Job.SinkMachine]; m != nil {
+		last := streams[len(streams)-1]
+		sink = cluster.NewSink(cluster.SinkConfig{
+			Machine:     m,
+			Clock:       clk,
+			ID:          dep.Job.ID + "/sink",
+			InStreams:   []string{last},
+			Owners:      map[string]string{last: specs[len(specs)-1].ID},
+			AckInterval: 20 * time.Millisecond,
+		})
+		sink.Start()
+		stop = append(stop, sink.Stop)
+		fmt.Printf("hosting sink on %s\n", dep.Job.SinkMachine)
+	}
+
+	// Local source, started last so consumers elsewhere have a moment to
+	// come up (operators start the source process last, as the README
+	// instructs).
+	var src *cluster.Source
+	if m := machines[dep.Job.SourceMachine]; m != nil {
+		src = cluster.NewSource(cluster.SourceConfig{
+			Machine: m,
+			Clock:   clk,
+			Stream:  streams[0],
+			Rate:    dep.Job.Rate,
+		})
+		for _, tgt := range consumerTargets(0) {
+			src.Out().Subscribe(transport.NodeID(tgt[0]), tgt[1], true)
+		}
+		src.Start()
+		stop = append(stop, src.Stop)
+		fmt.Printf("hosting source on %s at %.0f elements/s\n", dep.Job.SourceMachine, dep.Job.Rate)
+	}
+
+	// Run until the deadline or a signal.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	deadline := time.Duration(dep.RunSeconds) * time.Second
+	if deadline <= 0 {
+		deadline = time.Hour
+	}
+	report := time.NewTicker(2 * time.Second)
+	defer report.Stop()
+	end := time.After(deadline)
+loop:
+	for {
+		select {
+		case <-sig:
+			break loop
+		case <-end:
+			break loop
+		case <-report.C:
+			if sink != nil {
+				printSinkReport(sink.Delays(), sink.Received())
+			} else if src != nil {
+				fmt.Printf("source emitted %d elements\n", src.Emitted())
+			}
+		}
+	}
+	for i := len(stop) - 1; i >= 0; i-- {
+		stop[i]()
+	}
+	if sink != nil {
+		fmt.Println("final:")
+		printSinkReport(sink.Delays(), sink.Received())
+	}
+	st := seg.Stats()
+	fmt.Printf("transport: %d messages, %d element units\n", st.TotalMessages(), st.TotalElements())
+	return nil
+}
+
+func copyHosts(def subjobDef) []string {
+	hosts := []string{def.Primary}
+	if def.Mode == "active" && def.Secondary != "" {
+		hosts = append(hosts, def.Secondary)
+	}
+	return hosts
+}
+
+func printSinkReport(d *metrics.DelayStats, received uint64) {
+	fmt.Printf("sink: %d elements, mean delay %.1f ms, p99 %.1f ms\n",
+		received, d.Mean().Seconds()*1e3, d.Percentile(99).Seconds()*1e3)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestThreeProcessDeployment runs the feed/workers/dash roles of the
+// bundled active-standby config concurrently in one test process (each
+// role opens its own TCP listener, exactly as three OS processes would)
+// and checks they all complete a short run.
+func TestThreeProcessDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second TCP deployment")
+	}
+	dep := deployment{
+		Processes: map[string]processDef{
+			"feed":    {Listen: "127.0.0.1:7301", Machines: []string{"src"}},
+			"workers": {Listen: "127.0.0.1:7302", Machines: []string{"p0", "s0"}},
+			"dash":    {Listen: "127.0.0.1:7303", Machines: []string{"sink"}},
+		},
+		Job: jobDef{
+			ID:            "t",
+			Rate:          500,
+			SourceMachine: "src",
+			SinkMachine:   "sink",
+			Subjobs: []subjobDef{
+				{ID: "sj0", Mode: "active", Primary: "p0", Secondary: "s0", PEs: 1, CostUS: 20},
+			},
+		},
+		RunSeconds: 3,
+	}
+	raw, err := json.Marshal(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := filepath.Join(t.TempDir(), "job.json")
+	if err := os.WriteFile(cfg, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	for _, role := range []string{"dash", "workers", "feed"} {
+		wg.Add(1)
+		go func(role string) {
+			defer wg.Done()
+			if err := run(cfg, role); err != nil {
+				errs <- err
+			}
+		}(role)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("role failed: %v", err)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run("/nonexistent/config.json", "x"); err == nil {
+		t.Fatal("missing config accepted")
+	}
+
+	cfg := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(cfg, []byte("{not json"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(cfg, "x"); err == nil {
+		t.Fatal("malformed config accepted")
+	}
+
+	good, _ := json.Marshal(deployment{
+		Processes: map[string]processDef{"a": {Listen: "127.0.0.1:0"}},
+		Job:       jobDef{ID: "j", Subjobs: []subjobDef{{ID: "s", Mode: "hybrid", Primary: "p"}}},
+	})
+	cfg2 := filepath.Join(t.TempDir(), "hybrid.json")
+	if err := os.WriteFile(cfg2, good, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(cfg2, "missing"); err == nil {
+		t.Fatal("unknown process accepted")
+	}
+	if err := run(cfg2, "a"); err == nil {
+		t.Fatal("hybrid mode must be rejected multi-process")
+	}
+}

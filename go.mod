@@ -1,0 +1,3 @@
+module streamha
+
+go 1.22

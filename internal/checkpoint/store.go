@@ -1,0 +1,142 @@
+package checkpoint
+
+import (
+	"sync"
+	"time"
+
+	"streamha/internal/machine"
+	"streamha/internal/subjob"
+	"streamha/internal/transport"
+)
+
+// StoreBackend selects where a Store keeps checkpoint state.
+type StoreBackend int
+
+const (
+	// InMemory refreshes the state directly in memory — the hybrid method's
+	// choice, avoiding disk I/O on the critical path.
+	InMemory StoreBackend = iota
+	// SimulatedDisk pads every store operation with a disk-write latency,
+	// modeling a conventional persistent store.
+	SimulatedDisk
+)
+
+// DefaultDiskLatency approximates one synchronous write to spinning disk
+// at the experiments' one-tenth timescale.
+const DefaultDiskLatency = 800 * time.Microsecond
+
+// Store holds the latest checkpoint of one subjob on a secondary machine
+// and confirms each stored checkpoint back to the checkpoint manager.
+// Passive standby reads the stored snapshot when deploying a recovery
+// copy.
+type Store struct {
+	m           *machine.Machine
+	sjID        string
+	backend     StoreBackend
+	diskLatency time.Duration
+
+	mu     sync.Mutex
+	latest *subjob.Snapshot
+	seq    uint64
+	stored int
+	work   chan storeReq
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+type storeReq struct {
+	from transport.NodeID
+	msg  transport.Message
+}
+
+// NewStore creates and starts a store for subjob sjID on machine m.
+func NewStore(m *machine.Machine, sjID string, backend StoreBackend, diskLatency time.Duration) *Store {
+	if diskLatency <= 0 {
+		diskLatency = DefaultDiskLatency
+	}
+	s := &Store{
+		m:           m,
+		sjID:        sjID,
+		backend:     backend,
+		diskLatency: diskLatency,
+		work:        make(chan storeReq, 128),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	m.RegisterStream(subjob.CkptStream(sjID), func(from transport.NodeID, msg transport.Message) {
+		select {
+		case s.work <- storeReq{from: from, msg: msg}:
+		case <-s.stop:
+		}
+	})
+	go s.run()
+	return s
+}
+
+func (s *Store) run() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case req := <-s.work:
+			s.store(req)
+		}
+	}
+}
+
+func (s *Store) store(req storeReq) {
+	snap, err := subjob.DecodeSnapshot(req.msg.State)
+	if err != nil {
+		return
+	}
+	if s.backend == SimulatedDisk {
+		s.m.CPU().Execute(s.diskLatency)
+	}
+	s.mu.Lock()
+	if req.msg.Seq > s.seq {
+		s.seq = req.msg.Seq
+		s.latest = snap
+	}
+	s.stored++
+	s.mu.Unlock()
+	s.m.Send(req.from, transport.Message{
+		Kind:    transport.KindControl,
+		Stream:  subjob.CkptAckStream(s.sjID),
+		Command: "ckpt-stored",
+		Seq:     req.msg.Seq,
+	})
+}
+
+// Latest returns the most recent stored snapshot, or false if none.
+// SimulatedDisk stores pay a read latency.
+func (s *Store) Latest() (*subjob.Snapshot, bool) {
+	if s.backend == SimulatedDisk {
+		s.m.CPU().Execute(s.diskLatency)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.latest == nil {
+		return nil, false
+	}
+	return s.latest, true
+}
+
+// Stored returns the number of checkpoints stored.
+func (s *Store) Stored() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stored
+}
+
+// Close stops the store and unregisters its handler.
+func (s *Store) Close() {
+	select {
+	case <-s.stop:
+		return
+	default:
+	}
+	close(s.stop)
+	<-s.done
+	s.m.UnregisterStream(subjob.CkptStream(s.sjID))
+}

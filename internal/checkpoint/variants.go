@@ -1,0 +1,363 @@
+package checkpoint
+
+import (
+	"sync"
+	"time"
+
+	"streamha/internal/subjob"
+	"streamha/internal/transport"
+)
+
+// Synchronous is the timer-driven checkpointing variant the paper compares
+// sweeping checkpointing against: on every interval all PEs of the subjob
+// are suspended, the full state — including the input queue — is captured
+// and encoded while they stay suspended, and only then are they resumed.
+// Including the input queue makes messages much larger for PEs that
+// consume more raw data than they derive, and holding the pause across
+// encoding makes each checkpoint slower; both effects are the ones the
+// paper's Section III quantifies.
+type Synchronous struct {
+	cfg  Config
+	stop chan struct{}
+	done chan struct{}
+
+	mu         sync.Mutex
+	seq        uint64
+	pending    map[uint64]map[string]uint64
+	taken      int
+	pauseTotal time.Duration
+	started    bool
+}
+
+var _ Manager = (*Synchronous)(nil)
+
+// NewSynchronous creates a synchronous manager for cfg.
+func NewSynchronous(cfg Config) *Synchronous {
+	cfg.Costs = cfg.Costs.orDefault()
+	return &Synchronous{
+		cfg:     cfg,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		pending: make(map[uint64]map[string]uint64),
+	}
+}
+
+// Start implements Manager.
+func (s *Synchronous) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	rt := s.cfg.Runtime
+	rt.Machine().RegisterStream(subjob.CkptAckStream(rt.Spec().ID), s.onStoreAck)
+	go s.run()
+}
+
+// Stop implements Manager.
+func (s *Synchronous) Stop() {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+	s.cfg.Runtime.Machine().UnregisterStream(subjob.CkptAckStream(s.cfg.Runtime.Spec().ID))
+}
+
+func (s *Synchronous) run() {
+	defer close(s.done)
+	t := s.cfg.Clock.NewTicker(s.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C():
+			s.CheckpointNow()
+		}
+	}
+}
+
+// CheckpointNow implements Manager. The pause spans snapshot, encode-cost
+// and send; the acknowledged positions are the input queue's accepted
+// positions, since the input queue itself is part of the checkpoint.
+func (s *Synchronous) CheckpointNow() time.Duration {
+	rt := s.cfg.Runtime
+	if rt.Machine().Crashed() {
+		return 0
+	}
+	start := s.cfg.Clock.Now()
+	rt.WithPaused(func() {
+		snap := rt.Snapshot()
+		snap.Input = rt.In().SnapshotBuf()
+		accepted := rt.In().AcceptedAll()
+		snap.Consumed = accepted
+
+		units := snap.ElementUnits()
+		rt.Machine().CPU().Execute(s.cfg.Costs.Base + s.cfg.Costs.PerUnit*time.Duration(units))
+		state, err := snap.Encode()
+		if err != nil {
+			return
+		}
+
+		s.mu.Lock()
+		s.seq++
+		seq := s.seq
+		s.pending[seq] = accepted
+		s.taken++
+		s.mu.Unlock()
+
+		rt.Machine().Send(s.cfg.StoreNode, transport.Message{
+			Kind:         transport.KindCheckpoint,
+			Stream:       subjob.CkptStream(rt.Spec().ID),
+			Seq:          seq,
+			State:        state,
+			ElementCount: units,
+		})
+	})
+	paused := s.cfg.Clock.Since(start)
+	s.mu.Lock()
+	s.pauseTotal += paused
+	s.mu.Unlock()
+	return paused
+}
+
+func (s *Synchronous) onStoreAck(_ transport.NodeID, msg transport.Message) {
+	s.mu.Lock()
+	positions, ok := s.pending[msg.Seq]
+	if ok {
+		delete(s.pending, msg.Seq)
+		for seq := range s.pending {
+			if seq < msg.Seq {
+				delete(s.pending, seq)
+			}
+		}
+	}
+	s.mu.Unlock()
+	if ok {
+		s.cfg.Runtime.AckUpstream(positions)
+	}
+}
+
+// Taken returns how many checkpoints were initiated.
+func (s *Synchronous) Taken() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.taken
+}
+
+// MeanPause returns the average pause duration per checkpoint.
+func (s *Synchronous) MeanPause() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.taken == 0 {
+		return 0
+	}
+	return s.pauseTotal / time.Duration(s.taken)
+}
+
+// Individual is the per-PE-timer checkpointing variant: every PE has its
+// own timer and is checkpointed independently. Each cycle still captures a
+// full consistent snapshot of the owning subjob copy (pausing only
+// briefly), but one message is sent per PE per interval and each message
+// carries the PE's share of queue state plus the input queue for the first
+// PE — more, smaller, overlapping messages than one swept checkpoint.
+type Individual struct {
+	cfg  Config
+	stop chan struct{}
+	done chan struct{}
+
+	mu         sync.Mutex
+	seq        uint64
+	pending    map[uint64]map[string]uint64
+	taken      int
+	pauseTotal time.Duration
+	started    bool
+}
+
+var _ Manager = (*Individual)(nil)
+
+// NewIndividual creates an individual-timer manager for cfg.
+func NewIndividual(cfg Config) *Individual {
+	cfg.Costs = cfg.Costs.orDefault()
+	return &Individual{
+		cfg:     cfg,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		pending: make(map[uint64]map[string]uint64),
+	}
+}
+
+// Start implements Manager: one timer goroutine per PE, with offset phases
+// like independent timers would have.
+func (ind *Individual) Start() {
+	ind.mu.Lock()
+	if ind.started {
+		ind.mu.Unlock()
+		return
+	}
+	ind.started = true
+	ind.mu.Unlock()
+	rt := ind.cfg.Runtime
+	rt.Machine().RegisterStream(subjob.CkptAckStream(rt.Spec().ID), ind.onStoreAck)
+	go ind.run()
+}
+
+// Stop implements Manager.
+func (ind *Individual) Stop() {
+	ind.mu.Lock()
+	if !ind.started {
+		ind.mu.Unlock()
+		return
+	}
+	ind.mu.Unlock()
+	select {
+	case <-ind.stop:
+	default:
+		close(ind.stop)
+	}
+	<-ind.done
+	ind.cfg.Runtime.Machine().UnregisterStream(subjob.CkptAckStream(ind.cfg.Runtime.Spec().ID))
+}
+
+func (ind *Individual) run() {
+	defer close(ind.done)
+	n := len(ind.cfg.Runtime.PEs())
+	if n == 0 {
+		return
+	}
+	// Independent per-PE timers are modeled as a single loop firing n
+	// evenly-phased sub-ticks per interval, each checkpointing one PE.
+	sub := ind.cfg.Interval / time.Duration(n)
+	if sub <= 0 {
+		sub = ind.cfg.Interval
+	}
+	t := ind.cfg.Clock.NewTicker(sub)
+	defer t.Stop()
+	i := 0
+	for {
+		select {
+		case <-ind.stop:
+			return
+		case <-t.C():
+			ind.checkpointPE(i % n)
+			i++
+		}
+	}
+}
+
+// CheckpointNow implements Manager by checkpointing the first PE.
+func (ind *Individual) CheckpointNow() time.Duration {
+	return ind.checkpointPE(0)
+}
+
+// checkpointPE captures the state owned by PE i: its logic state, its
+// outgoing queue (pipe or subjob output), and for the first PE also the
+// input queue.
+func (ind *Individual) checkpointPE(i int) time.Duration {
+	rt := ind.cfg.Runtime
+	if rt.Machine().Crashed() {
+		return 0
+	}
+	start := ind.cfg.Clock.Now()
+	var snap *subjob.Snapshot
+	var accepted map[string]uint64
+	rt.WithPaused(func() {
+		snap = rt.Snapshot()
+		if i == 0 {
+			snap.Input = rt.In().SnapshotBuf()
+			accepted = rt.In().AcceptedAll()
+			snap.Consumed = accepted
+		}
+	})
+	paused := ind.cfg.Clock.Since(start)
+	ind.mu.Lock()
+	ind.pauseTotal += paused
+	ind.mu.Unlock()
+	// Keep only PE i's share: zero out the other PEs' states and queues.
+	for j := range snap.PEStates {
+		if j != i {
+			snap.PEStates[j] = nil
+		}
+	}
+	keptUnits := 0
+	if i < len(rt.PEs()) {
+		keptUnits = rt.PEs()[i].Logic().StateSize()
+	}
+	snap.StateUnits = keptUnits
+	for j := range snap.Pipes {
+		if j != i {
+			snap.Pipes[j] = nil
+		}
+	}
+	if i != len(snap.PEStates)-1 {
+		snap.Output.Buf = nil
+	}
+	units := snap.ElementUnits()
+	rt.Machine().CPU().Execute(ind.cfg.Costs.Base + ind.cfg.Costs.PerUnit*time.Duration(units))
+	state, err := snap.Encode()
+	if err != nil {
+		return ind.cfg.Clock.Since(start)
+	}
+
+	ind.mu.Lock()
+	ind.seq++
+	seq := ind.seq
+	if accepted != nil {
+		ind.pending[seq] = accepted
+	}
+	ind.taken++
+	ind.mu.Unlock()
+
+	rt.Machine().Send(ind.cfg.StoreNode, transport.Message{
+		Kind:         transport.KindCheckpoint,
+		Stream:       subjob.CkptStream(rt.Spec().ID),
+		Seq:          seq,
+		State:        state,
+		ElementCount: units,
+	})
+	return ind.cfg.Clock.Since(start)
+}
+
+func (ind *Individual) onStoreAck(_ transport.NodeID, msg transport.Message) {
+	ind.mu.Lock()
+	positions, ok := ind.pending[msg.Seq]
+	if ok {
+		delete(ind.pending, msg.Seq)
+		for seq := range ind.pending {
+			if seq < msg.Seq {
+				delete(ind.pending, seq)
+			}
+		}
+	}
+	ind.mu.Unlock()
+	if ok {
+		ind.cfg.Runtime.AckUpstream(positions)
+	}
+}
+
+// Taken returns how many per-PE checkpoints were initiated.
+func (ind *Individual) Taken() int {
+	ind.mu.Lock()
+	defer ind.mu.Unlock()
+	return ind.taken
+}
+
+// MeanPause returns the average pause duration per checkpoint.
+func (ind *Individual) MeanPause() time.Duration {
+	ind.mu.Lock()
+	defer ind.mu.Unlock()
+	if ind.taken == 0 {
+		return 0
+	}
+	return ind.pauseTotal / time.Duration(ind.taken)
+}

@@ -1,0 +1,152 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealClockBasics(t *testing.T) {
+	c := New()
+	start := c.Now()
+	c.Sleep(5 * time.Millisecond)
+	if c.Since(start) < 5*time.Millisecond {
+		t.Fatal("Sleep returned early")
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Fatal("After never fired")
+	}
+}
+
+func TestRealTicker(t *testing.T) {
+	c := New()
+	tk := c.NewTicker(2 * time.Millisecond)
+	defer tk.Stop()
+	for i := 0; i < 3; i++ {
+		select {
+		case <-tk.C():
+		case <-time.After(time.Second):
+			t.Fatal("ticker stalled")
+		}
+	}
+}
+
+func TestManualNowAndAdvance(t *testing.T) {
+	start := time.Unix(1000, 0)
+	m := NewManual(start)
+	if !m.Now().Equal(start) {
+		t.Fatal("wrong start time")
+	}
+	m.Advance(3 * time.Second)
+	if got := m.Now(); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("Now after Advance = %v", got)
+	}
+}
+
+func TestManualAfterFiresOnAdvance(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	ch := m.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("fired before Advance")
+	default:
+	}
+	m.Advance(10 * time.Second)
+	select {
+	case at := <-ch:
+		if !at.Equal(time.Unix(10, 0)) {
+			t.Fatalf("fired at %v", at)
+		}
+	default:
+		t.Fatal("did not fire")
+	}
+}
+
+func TestManualAfterNonPositive(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	select {
+	case <-m.After(0):
+	default:
+		t.Fatal("After(0) must fire immediately")
+	}
+}
+
+func TestManualSleepWakesOnAdvance(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	woke := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		m.Sleep(5 * time.Second)
+		close(woke)
+	}()
+	// Give the sleeper time to register.
+	time.Sleep(10 * time.Millisecond)
+	m.Advance(5 * time.Second)
+	select {
+	case <-woke:
+	case <-time.After(time.Second):
+		t.Fatal("sleeper never woke")
+	}
+	wg.Wait()
+}
+
+func TestManualTickerDeliversEveryOwedTick(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	tk := m.NewTicker(time.Second)
+	defer tk.Stop()
+	// Advance one period at a time so the capacity-one channel is drained
+	// between ticks.
+	for i := 0; i < 3; i++ {
+		m.Advance(time.Second)
+		select {
+		case <-tk.C():
+		default:
+			t.Fatalf("tick %d missing", i)
+		}
+	}
+}
+
+func TestManualTickerDropsBacklogLikeTimeTicker(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	tk := m.NewTicker(time.Second)
+	defer tk.Stop()
+	m.Advance(5 * time.Second) // 5 owed ticks, capacity 1
+	n := 0
+	for {
+		select {
+		case <-tk.C():
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != 1 {
+		t.Fatalf("got %d buffered ticks, want 1 (drop semantics)", n)
+	}
+}
+
+func TestManualTickerStop(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	tk := m.NewTicker(time.Second)
+	tk.Stop()
+	m.Advance(3 * time.Second)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker fired")
+	default:
+	}
+}
+
+func TestManualZeroIntervalTickerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewManual(time.Unix(0, 0)).NewTicker(0)
+}

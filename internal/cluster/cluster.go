@@ -1,0 +1,105 @@
+// Package cluster assembles simulated machines, sources and sinks into a
+// testbed, mirroring the paper's experimental environment: a set of
+// machines on a LAN, a stream source feeding a chain of subjobs, and a
+// sink measuring end-to-end delay.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"streamha/internal/clock"
+	"streamha/internal/detect"
+	"streamha/internal/machine"
+	"streamha/internal/transport"
+)
+
+// Config configures a cluster.
+type Config struct {
+	// Clock is the shared time source; nil selects the wall clock.
+	Clock clock.Clock
+	// Latency is the one-way network latency between machines (the paper's
+	// testbed is a 1 Gbps LAN; 200 µs is the default here).
+	Latency time.Duration
+	// HeartbeatReplyCost is the CPU work per heartbeat reply; zero selects
+	// the package default.
+	HeartbeatReplyCost time.Duration
+}
+
+// Cluster owns the network and machines of one experiment.
+type Cluster struct {
+	cfg        Config
+	net        *transport.Mem
+	machines   map[string]*machine.Machine
+	order      []string
+	responders map[string]*detect.Responder
+}
+
+// New creates an empty cluster.
+func New(cfg Config) *Cluster {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.New()
+	}
+	if cfg.Latency == 0 {
+		cfg.Latency = 200 * time.Microsecond
+	}
+	return &Cluster{
+		cfg:        cfg,
+		net:        transport.NewMem(transport.MemConfig{Clock: cfg.Clock, Latency: cfg.Latency}),
+		machines:   make(map[string]*machine.Machine),
+		responders: make(map[string]*detect.Responder),
+	}
+}
+
+// Clock returns the cluster's time source.
+func (c *Cluster) Clock() clock.Clock { return c.cfg.Clock }
+
+// Network returns the cluster's network, for traffic statistics.
+func (c *Cluster) Network() *transport.Mem { return c.net }
+
+// AddMachine registers a machine named id with a heartbeat responder.
+func (c *Cluster) AddMachine(id string) (*machine.Machine, error) {
+	if _, ok := c.machines[id]; ok {
+		return nil, fmt.Errorf("cluster: machine %q exists", id)
+	}
+	m, err := machine.New(id, c.cfg.Clock, c.net)
+	if err != nil {
+		return nil, err
+	}
+	c.machines[id] = m
+	c.order = append(c.order, id)
+	c.responders[id] = detect.NewResponder(m, c.cfg.HeartbeatReplyCost)
+	return m, nil
+}
+
+// MustAddMachine is AddMachine panicking on error, for experiment setup.
+func (c *Cluster) MustAddMachine(id string) *machine.Machine {
+	m, err := c.AddMachine(id)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Machine returns the machine named id, or nil.
+func (c *Cluster) Machine(id string) *machine.Machine { return c.machines[id] }
+
+// Machines returns all machines in creation order.
+func (c *Cluster) Machines() []*machine.Machine {
+	out := make([]*machine.Machine, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.machines[id])
+	}
+	return out
+}
+
+// Stats returns the cluster's cumulative traffic counters.
+func (c *Cluster) Stats() transport.Stats { return c.net.Stats() }
+
+// Close shuts down the responders and the network.
+func (c *Cluster) Close() {
+	for _, r := range c.responders {
+		r.Close()
+	}
+	c.net.Close()
+}

@@ -1,0 +1,248 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"streamha/internal/clock"
+	"streamha/internal/element"
+	"streamha/internal/machine"
+	"streamha/internal/metrics"
+	"streamha/internal/queue"
+	"streamha/internal/subjob"
+	"streamha/internal/transport"
+)
+
+// SinkConfig parameterizes a measuring sink.
+type SinkConfig struct {
+	// Machine hosts the sink.
+	Machine *machine.Machine
+	// Clock is the time source.
+	Clock clock.Clock
+	// ID names the sink for stream routing (e.g. "sink").
+	ID string
+	// InStreams lists the logical streams the sink consumes.
+	InStreams []string
+	// Owners maps each input stream to the subjob ID producing it, for
+	// acknowledgment routing.
+	Owners map[string]string
+	// AckInterval is how often consumed positions are acknowledged
+	// upstream. The sink is stateless, so it acks on processing; its ack
+	// cadence seeds the sweeping checkpoint cascade, so it defaults to the
+	// job's checkpoint interval.
+	AckInterval time.Duration
+	// Delays receives one sample per delivered element; nil allocates one.
+	Delays *metrics.DelayStats
+	// TrackIDs retains a count per delivered element ID for exactly-once
+	// verification in tests (costs memory; off for long benchmarks).
+	TrackIDs bool
+}
+
+// Sink consumes a job's final stream: it deduplicates (via its input
+// queue), records end-to-end delay, and acknowledges upstream.
+type Sink struct {
+	cfg SinkConfig
+	in  *queue.Input
+
+	mu        sync.Mutex
+	senders   map[string]map[transport.NodeID]time.Time
+	consumed  map[string]uint64
+	ids       map[uint64]int
+	received  uint64
+	onArrival func(e element.Element, at time.Time)
+	started   bool
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewSink creates a sink; call Start to begin consuming.
+func NewSink(cfg SinkConfig) *Sink {
+	if cfg.AckInterval <= 0 {
+		cfg.AckInterval = 10 * time.Millisecond
+	}
+	if cfg.Delays == nil {
+		cfg.Delays = &metrics.DelayStats{}
+	}
+	s := &Sink{
+		cfg:      cfg,
+		in:       queue.NewInput(cfg.InStreams...),
+		senders:  make(map[string]map[transport.NodeID]time.Time),
+		consumed: make(map[string]uint64),
+	}
+	if cfg.TrackIDs {
+		s.ids = make(map[uint64]int)
+	}
+	for _, logical := range cfg.InStreams {
+		logical := logical
+		cfg.Machine.RegisterStream(subjob.DataStream(cfg.ID, logical), func(from transport.NodeID, msg transport.Message) {
+			s.noteSender(logical, from)
+			s.in.Push(logical, msg.Elements)
+		})
+	}
+	return s
+}
+
+// Node returns the sink machine's node ID.
+func (s *Sink) Node() transport.NodeID { return s.cfg.Machine.ID() }
+
+// ID returns the sink's routing name.
+func (s *Sink) ID() string { return s.cfg.ID }
+
+// In returns the sink's input queue, for wiring and tests.
+func (s *Sink) In() *queue.Input { return s.in }
+
+// Delays returns the sink's delay statistics.
+func (s *Sink) Delays() *metrics.DelayStats { return s.cfg.Delays }
+
+// Received returns the number of elements delivered.
+func (s *Sink) Received() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.received
+}
+
+// IDCounts returns a copy of the per-ID delivery counts (TrackIDs only).
+func (s *Sink) IDCounts() map[uint64]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[uint64]int, len(s.ids))
+	for k, v := range s.ids {
+		out[k] = v
+	}
+	return out
+}
+
+// senderStaleness bounds how long a copy that stopped delivering keeps
+// receiving acknowledgments from the sink.
+const senderStaleness = 2 * time.Second
+
+func (s *Sink) noteSender(logical string, node transport.NodeID) {
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byNode := s.senders[logical]
+	if byNode == nil {
+		byNode = make(map[transport.NodeID]time.Time)
+		s.senders[logical] = byNode
+	}
+	byNode[node] = now
+}
+
+// SetOnArrival registers a callback invoked for every delivered element.
+// Recovery experiments use it to timestamp the first post-recovery output.
+func (s *Sink) SetOnArrival(f func(e element.Element, at time.Time)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onArrival = f
+}
+
+// Start launches the consume and ack loops.
+func (s *Sink) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.run()
+}
+
+// Stop halts the sink.
+func (s *Sink) Stop() {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+	for _, logical := range s.cfg.InStreams {
+		s.cfg.Machine.UnregisterStream(subjob.DataStream(s.cfg.ID, logical))
+	}
+}
+
+func (s *Sink) run() {
+	defer close(s.done)
+	ack := s.cfg.Clock.NewTicker(s.cfg.AckInterval)
+	defer ack.Stop()
+	for {
+		for {
+			ins := s.in.TryPop(256)
+			if len(ins) == 0 {
+				break
+			}
+			s.deliver(ins)
+		}
+		select {
+		case <-s.stop:
+			return
+		case <-s.in.Ready():
+		case <-ack.C():
+			s.sendAcks()
+		}
+	}
+}
+
+func (s *Sink) deliver(ins []queue.In) {
+	now := s.cfg.Clock.Now()
+	nowNanos := now.UnixNano()
+	s.mu.Lock()
+	onArrival := s.onArrival
+	for _, in := range ins {
+		s.received++
+		if in.Elem.Seq > s.consumed[in.Stream] {
+			s.consumed[in.Stream] = in.Elem.Seq
+		}
+		if s.ids != nil {
+			s.ids[in.Elem.ID]++
+		}
+	}
+	s.mu.Unlock()
+	for _, in := range ins {
+		s.cfg.Delays.Add(time.Duration(nowNanos - in.Elem.Origin))
+		if onArrival != nil {
+			onArrival(in.Elem, now)
+		}
+	}
+}
+
+func (s *Sink) sendAcks() {
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	positions := make(map[string]uint64, len(s.consumed))
+	for k, v := range s.consumed {
+		positions[k] = v
+	}
+	targets := make(map[string][]subjob.AckTarget, len(s.senders))
+	for logical, byNode := range s.senders {
+		stream := subjob.AckStream(s.cfg.Owners[logical], logical)
+		for node, seen := range byNode {
+			if now.Sub(seen) > senderStaleness {
+				delete(byNode, node)
+				continue
+			}
+			targets[logical] = append(targets[logical], subjob.AckTarget{Node: node, Stream: stream})
+		}
+	}
+	s.mu.Unlock()
+	for logical, seq := range positions {
+		if seq == 0 {
+			continue
+		}
+		for _, t := range targets[logical] {
+			s.cfg.Machine.Send(t.Node, transport.Message{
+				Kind:   transport.KindAck,
+				Stream: t.Stream,
+				Seq:    seq,
+			})
+		}
+	}
+}

@@ -1,0 +1,452 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"streamha/internal/checkpoint"
+	"streamha/internal/clock"
+	"streamha/internal/detect"
+	"streamha/internal/machine"
+	"streamha/internal/queue"
+	"streamha/internal/subjob"
+	"streamha/internal/transport"
+)
+
+// Target identifies one consumer of a subjob's output stream: a downstream
+// copy's (or the sink's) node and data-stream name. Active reports whether
+// that consumer should currently receive published data (false for a
+// suspended hybrid standby, whose subscription is an early connection).
+type Target struct {
+	Node   transport.NodeID
+	Stream string
+	Active bool
+}
+
+// Wiring tells a controller how its subjob connects to the rest of the
+// job. Both sides are functions because neighboring subjobs may migrate:
+// they are re-evaluated whenever the controller rewires.
+type Wiring struct {
+	// UpstreamOutputs returns the output queues currently producing this
+	// subjob's input streams (every live copy of each upstream producer,
+	// including the source).
+	UpstreamOutputs func() []*queue.Output
+	// DownstreamTargets returns the consumer copies of this subjob's output.
+	DownstreamTargets func() []Target
+}
+
+// Options tunes the hybrid method. The zero value selects the paper's full
+// design at the experiments' one-tenth timescale.
+type Options struct {
+	// HeartbeatInterval is the detector's ping period (default 20 ms,
+	// standing in for the paper's 100 ms).
+	HeartbeatInterval time.Duration
+	// MissThreshold triggers switchover; the hybrid method acts on the
+	// first miss (default 1).
+	MissThreshold int
+	// RecoverThreshold is how many replies after a failure declare the
+	// primary responsive again (default 1).
+	RecoverThreshold int
+	// CheckpointInterval drives the primary's sweeping checkpoint manager
+	// (default 10 ms, standing in for the paper's 50 ms).
+	CheckpointInterval time.Duration
+	// CheckpointCosts models checkpoint CPU cost.
+	CheckpointCosts checkpoint.Costs
+	// AckInterval is the standby's acknowledgment period while active
+	// (default: CheckpointInterval).
+	AckInterval time.Duration
+	// ResumeCost is the CPU work to resume the pre-deployed copy (the
+	// paper measures resume at about a quarter of a full redeployment).
+	ResumeCost time.Duration
+	// DeployCost is the CPU work to deploy a copy on demand; paid at
+	// switchover only under NoPreDeploy (default 20 ms, standing in for
+	// the paper's ~200 ms redeployment).
+	DeployCost time.Duration
+	// ConnectCost is the CPU work per connection established on demand;
+	// paid at switchover only under NoEarlyConnection.
+	ConnectCost time.Duration
+	// FailStopAfter promotes the standby to primary if the failure
+	// persists this long after switchover; zero disables promotion.
+	FailStopAfter time.Duration
+
+	// Ablation switches (Section IV-B optimizations; all false = full
+	// hybrid):
+	//
+	// NoPreDeploy deploys the secondary on demand at switchover instead of
+	// pre-deploying it suspended; checkpoints then go to a passive store.
+	NoPreDeploy bool
+	// NoEarlyConnection creates upstream/downstream connections at
+	// switchover instead of in advance.
+	NoEarlyConnection bool
+	// NoReadState skips the read-state step on rollback: the primary
+	// resumes from its own (stale) state and reprocesses its backlog.
+	NoReadState bool
+	// DiskStore persists checkpoints through a simulated disk instead of
+	// refreshing memory (only meaningful with NoPreDeploy or for ablation
+	// of the in-memory refresh; adds write latency to every checkpoint).
+	DiskStore bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 20 * time.Millisecond
+	}
+	if o.MissThreshold <= 0 {
+		o.MissThreshold = 1
+	}
+	if o.RecoverThreshold <= 0 {
+		o.RecoverThreshold = 1
+	}
+	if o.CheckpointInterval <= 0 {
+		o.CheckpointInterval = 10 * time.Millisecond
+	}
+	if o.AckInterval <= 0 {
+		o.AckInterval = o.CheckpointInterval
+	}
+	if o.ResumeCost <= 0 {
+		o.ResumeCost = 5 * time.Millisecond
+	}
+	if o.DeployCost <= 0 {
+		o.DeployCost = 20 * time.Millisecond
+	}
+	if o.ConnectCost <= 0 {
+		o.ConnectCost = 2 * time.Millisecond
+	}
+	return o
+}
+
+// SwitchEvent records one switchover: from the detector's declaration to
+// the standby running and connected.
+type SwitchEvent struct {
+	DetectedAt time.Time
+	ReadyAt    time.Time
+}
+
+// RollbackEvent records one rollback: from the recovery declaration to the
+// primary holding the adopted state (or having declined it).
+type RollbackEvent struct {
+	StartedAt time.Time
+	DoneAt    time.Time
+	// StateUnits is the size of the state read back, in element units.
+	StateUnits int
+	// Adopted reports whether the primary adopted the standby's state; it
+	// declines when its own progress was ahead (a false-alarm switchover).
+	Adopted bool
+}
+
+// PromoteEvent records a fail-stop promotion of the standby to primary.
+type PromoteEvent struct {
+	At time.Time
+}
+
+// ControllerConfig assembles a hybrid controller for one subjob.
+type ControllerConfig struct {
+	// Spec is the protected subjob.
+	Spec subjob.Spec
+	// Clock is the time source.
+	Clock clock.Clock
+	// Primary is the running primary copy.
+	Primary *subjob.Runtime
+	// SecondaryMachine hosts the standby; it may be shared by the
+	// standbys of several subjobs (multiplexing).
+	SecondaryMachine *machine.Machine
+	// Secondary, when non-nil, is a pre-created suspended standby already
+	// wired by the deployer (the pipeline builder wires all copies before
+	// starting controllers so that standby-to-standby early connections
+	// exist). When nil the controller creates and wires the standby
+	// itself.
+	Secondary *subjob.Runtime
+	// SpareMachine hosts the new standby after a fail-stop promotion; nil
+	// disables promotion re-protection.
+	SpareMachine *machine.Machine
+	// Wiring connects the subjob to its neighbors.
+	Wiring Wiring
+	// Options tunes the method.
+	Options Options
+}
+
+type eventKind int
+
+const (
+	evFailure eventKind = iota
+	evRecovery
+)
+
+type event struct {
+	kind eventKind
+	at   time.Time
+}
+
+// Controller runs the hybrid method for one subjob.
+type Controller struct {
+	cfg  ControllerConfig
+	opts Options
+	clk  clock.Clock
+
+	mu         sync.Mutex
+	primary    *subjob.Runtime
+	secondary  *subjob.Runtime
+	standby    *StandbyStore
+	diskStore  *checkpoint.Store
+	cm         checkpoint.Manager
+	acker      *checkpoint.Acker
+	det        *detect.Heartbeat
+	active     bool // switched over to the standby
+	promoted   bool
+	switches   []SwitchEvent
+	rollbacks  []RollbackEvent
+	promotions []PromoteEvent
+
+	events  chan event
+	rsAckCh chan struct{}
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
+}
+
+// NewController creates a hybrid controller; call Start after the primary
+// copy is running.
+func NewController(cfg ControllerConfig) *Controller {
+	return &Controller{
+		cfg:     cfg,
+		opts:    cfg.Options.withDefaults(),
+		clk:     cfg.Clock,
+		primary: cfg.Primary,
+		events:  make(chan event, 16),
+		rsAckCh: make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Start deploys the standby side (pre-deployed and early-connected unless
+// ablated), starts the checkpoint manager and detector, and launches the
+// control loop.
+func (c *Controller) Start() error {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return nil
+	}
+	c.started = true
+	c.mu.Unlock()
+
+	spec := c.cfg.Spec
+	secM := c.cfg.SecondaryMachine
+
+	if !c.opts.NoPreDeploy {
+		sec := c.cfg.Secondary
+		if sec == nil {
+			var err error
+			sec, err = subjob.New(spec, secM, true)
+			if err != nil {
+				return err
+			}
+			sec.Start()
+			if !c.opts.NoEarlyConnection {
+				c.connectStandby(sec)
+			}
+		}
+		// Pre-deployment pays the deployment cost up front, off the
+		// critical path.
+		secM.CPU().Execute(c.opts.DeployCost)
+		c.mu.Lock()
+		c.secondary = sec
+		c.mu.Unlock()
+		c.mu.Lock()
+		c.standby = NewStandbyStore(sec)
+		c.acker = checkpoint.NewAcker(sec, c.clk, c.opts.AckInterval)
+		c.mu.Unlock()
+		c.acker.Start()
+	} else {
+		backend := checkpoint.InMemory
+		if c.opts.DiskStore {
+			backend = checkpoint.SimulatedDisk
+		}
+		c.mu.Lock()
+		c.diskStore = checkpoint.NewStore(secM, spec.ID, backend, 0)
+		c.mu.Unlock()
+	}
+
+	cm := checkpoint.NewSweeping(checkpoint.Config{
+		Runtime:   c.primaryRT(),
+		Clock:     c.clk,
+		Interval:  c.opts.CheckpointInterval,
+		StoreNode: secM.ID(),
+		Costs:     c.opts.CheckpointCosts,
+	})
+	c.mu.Lock()
+	c.cm = cm
+	c.mu.Unlock()
+	cm.Start()
+
+	c.registerReadStateAck(c.primaryRT().Machine())
+	c.startDetector(secM, c.primaryRT().Machine().ID())
+	go c.run()
+	return nil
+}
+
+// connectStandby creates the standby's early connections: inactive
+// subscriptions from every upstream output, and active subscriptions from
+// the standby's output to every downstream target (no data flows while the
+// standby is suspended).
+func (c *Controller) connectStandby(sec *subjob.Runtime) {
+	for _, up := range c.cfg.Wiring.UpstreamOutputs() {
+		up.Subscribe(sec.Node(), subjob.DataStream(sec.Spec().ID, up.StreamID), false)
+	}
+	for _, t := range c.cfg.Wiring.DownstreamTargets() {
+		sec.Out().Subscribe(t.Node, t.Stream, t.Active)
+	}
+}
+
+func (c *Controller) registerReadStateAck(m *machine.Machine) {
+	m.RegisterStream(subjob.ReadStateStream(c.cfg.Spec.ID), func(_ transport.NodeID, _ transport.Message) {
+		select {
+		case c.rsAckCh <- struct{}{}:
+		default:
+		}
+	})
+}
+
+func (c *Controller) startDetector(monitor *machine.Machine, target transport.NodeID) {
+	det := detect.NewHeartbeat(detect.HeartbeatConfig{
+		Monitor:          monitor,
+		Clock:            c.clk,
+		Target:           target,
+		Session:          c.cfg.Spec.ID,
+		Interval:         c.opts.HeartbeatInterval,
+		MissThreshold:    c.opts.MissThreshold,
+		RecoverThreshold: c.opts.RecoverThreshold,
+		OnFailure:        func(at time.Time) { c.post(event{kind: evFailure, at: at}) },
+		OnRecovery:       func(at time.Time) { c.post(event{kind: evRecovery, at: at}) },
+	})
+	c.mu.Lock()
+	c.det = det
+	c.mu.Unlock()
+	det.Start()
+}
+
+func (c *Controller) post(ev event) {
+	select {
+	case c.events <- ev:
+	case <-c.stop:
+	}
+}
+
+func (c *Controller) primaryRT() *subjob.Runtime {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.primary
+}
+
+func (c *Controller) secondaryRT() *subjob.Runtime {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.secondary
+}
+
+// Active reports whether the subjob is currently switched over to its
+// standby.
+func (c *Controller) Active() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.active
+}
+
+// Switches returns the recorded switchover events.
+func (c *Controller) Switches() []SwitchEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]SwitchEvent(nil), c.switches...)
+}
+
+// Rollbacks returns the recorded rollback events.
+func (c *Controller) Rollbacks() []RollbackEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]RollbackEvent(nil), c.rollbacks...)
+}
+
+// Promotions returns the recorded fail-stop promotions.
+func (c *Controller) Promotions() []PromoteEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]PromoteEvent(nil), c.promotions...)
+}
+
+// Detector returns the controller's heartbeat detector, for experiments.
+func (c *Controller) Detector() *detect.Heartbeat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.det
+}
+
+// PrimaryRuntime returns the copy currently serving as primary.
+func (c *Controller) PrimaryRuntime() *subjob.Runtime { return c.primaryRT() }
+
+// SecondaryRuntime returns the current standby copy, or nil.
+func (c *Controller) SecondaryRuntime() *subjob.Runtime { return c.secondaryRT() }
+
+// Stop halts the controller, its detector, checkpoint manager, standby
+// store and acker.
+func (c *Controller) Stop() {
+	c.mu.Lock()
+	if !c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	<-c.done
+
+	c.mu.Lock()
+	det, cm, acker, standby, disk, sec := c.det, c.cm, c.acker, c.standby, c.diskStore, c.secondary
+	c.mu.Unlock()
+	if det != nil {
+		det.Stop()
+	}
+	if cm != nil {
+		cm.Stop()
+	}
+	if acker != nil {
+		acker.Stop()
+	}
+	if standby != nil {
+		standby.Close()
+	}
+	if disk != nil {
+		disk.Close()
+	}
+	if sec != nil {
+		sec.Stop()
+	}
+	c.primaryRT().Machine().UnregisterStream(subjob.ReadStateStream(c.cfg.Spec.ID))
+}
+
+func (c *Controller) run() {
+	defer close(c.done)
+	var promote <-chan time.Time
+	for {
+		select {
+		case <-c.stop:
+			return
+		case ev := <-c.events:
+			switch ev.kind {
+			case evFailure:
+				if c.switchover(ev.at) && c.opts.FailStopAfter > 0 {
+					promote = c.clk.After(c.opts.FailStopAfter)
+				}
+			case evRecovery:
+				promote = nil
+				c.rollback(ev.at)
+			}
+		case <-promote:
+			promote = nil
+			c.promote()
+		}
+	}
+}

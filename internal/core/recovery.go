@@ -1,0 +1,262 @@
+package core
+
+import (
+	"time"
+
+	"streamha/internal/checkpoint"
+	"streamha/internal/subjob"
+	"streamha/internal/transport"
+)
+
+// switchover activates the standby on the first detected heartbeat miss
+// (Section IV-B): resume the pre-deployed copy, flip the early connections
+// active (which retransmits unacknowledged upstream data), and retransmit
+// the standby's own unacknowledged outputs. It returns true if a
+// switchover actually happened.
+func (c *Controller) switchover(detectedAt time.Time) bool {
+	c.mu.Lock()
+	if c.active || c.promoted {
+		c.mu.Unlock()
+		return false
+	}
+	sec := c.secondary
+	c.mu.Unlock()
+
+	secM := c.cfg.SecondaryMachine
+	if c.opts.NoPreDeploy {
+		// Ablation: deploy the standby from the stored checkpoint on demand,
+		// paying the full deployment cost on the critical path.
+		secM.CPU().Execute(c.opts.DeployCost)
+		rt, err := subjob.New(c.cfg.Spec, secM, true)
+		if err != nil {
+			return false
+		}
+		if snap, ok := c.diskStoreRef().Latest(); ok {
+			if err := rt.Restore(snap); err != nil {
+				return false
+			}
+		}
+		rt.Start()
+		c.mu.Lock()
+		c.secondary = rt
+		sec = rt
+		c.mu.Unlock()
+	}
+
+	// Resuming the suspended copy is just resetting the processing-loop
+	// flags, about a quarter of a deployment.
+	secM.CPU().Execute(c.opts.ResumeCost)
+	sec.Resume()
+
+	ups := c.cfg.Wiring.UpstreamOutputs()
+	if c.opts.NoEarlyConnection || c.opts.NoPreDeploy {
+		// Ablation: establish connections now, paying per-connection cost.
+		downs := c.cfg.Wiring.DownstreamTargets()
+		secM.CPU().Execute(c.opts.ConnectCost * time.Duration(len(ups)+len(downs)))
+		for _, up := range ups {
+			up.Subscribe(sec.Node(), subjob.DataStream(sec.Spec().ID, up.StreamID), false)
+		}
+		for _, t := range downs {
+			sec.Out().Subscribe(t.Node, t.Stream, t.Active)
+		}
+	}
+	for _, up := range ups {
+		// Activation retransmits everything the standby has not seen; its
+		// restart point is covered by the sweeping-checkpoint invariant.
+		up.Activate(sec.Node(), true)
+	}
+	sec.Out().RetransmitAll()
+
+	readyAt := c.clk.Now()
+	c.mu.Lock()
+	c.active = true
+	c.switches = append(c.switches, SwitchEvent{DetectedAt: detectedAt, ReadyAt: readyAt})
+	c.mu.Unlock()
+	return true
+}
+
+func (c *Controller) diskStoreRef() *checkpoint.Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.diskStore
+}
+
+// rollback returns to passive-standby mode once the primary is responsive
+// again: the standby is suspended, the primary reads the standby's
+// freshest state back ("read state on rollback") so it can jump past the
+// backlog it accumulated while stalled, and upstream connections to the
+// standby are deactivated.
+func (c *Controller) rollback(at time.Time) {
+	c.mu.Lock()
+	if !c.active || c.promoted {
+		c.mu.Unlock()
+		return
+	}
+	sec := c.secondary
+	pri := c.primary
+	c.mu.Unlock()
+
+	snap := sec.SuspendAndSnapshot()
+	for _, up := range c.cfg.Wiring.UpstreamOutputs() {
+		up.Activate(sec.Node(), false)
+	}
+
+	units := 0
+	adopted := false
+	if !c.opts.NoReadState {
+		units = snap.ElementUnits()
+		// The state transfer is a real message so its size is accounted in
+		// the experiment's overhead figures (Figure 10).
+		if state, err := snap.Encode(); err == nil {
+			sec.Machine().Send(pri.Node(), transport.Message{
+				Kind:         transport.KindReadStateResp,
+				Stream:       subjob.ReadStateStream(c.cfg.Spec.ID),
+				State:        state,
+				ElementCount: units,
+			})
+			select {
+			case <-c.rsAckCh:
+			case <-c.clk.After(5 * time.Second):
+			case <-c.stop:
+				return
+			}
+		}
+		pri.WithPaused(func() {
+			if positionsCover(snap.Consumed, pri.ConsumedPositions()) {
+				if err := pri.Restore(snap); err == nil {
+					adopted = true
+				}
+			}
+		})
+	}
+
+	if c.opts.NoPreDeploy {
+		// Ablation: the on-demand copy is discarded; the next failure
+		// deploys a fresh one from the store.
+		sec.Stop()
+		c.mu.Lock()
+		c.secondary = nil
+		c.mu.Unlock()
+	}
+
+	done := c.clk.Now()
+	c.mu.Lock()
+	c.active = false
+	c.rollbacks = append(c.rollbacks, RollbackEvent{
+		StartedAt:  at,
+		DoneAt:     done,
+		StateUnits: units,
+		Adopted:    adopted,
+	})
+	c.mu.Unlock()
+}
+
+// positionsCover reports whether the standby's positions are at or beyond
+// the primary's on every stream — the guard that prevents a rollback after
+// a false alarm from regressing a primary that was actually ahead.
+func positionsCover(standby, primary map[string]uint64) bool {
+	for s, v := range primary {
+		if standby[s] < v {
+			return false
+		}
+	}
+	return true
+}
+
+// promote makes the activated standby the permanent primary after the
+// failure persisted past the fail-stop threshold, and — when a spare
+// machine is available — instantiates a new suspended standby there,
+// re-protecting the subjob.
+func (c *Controller) promote() {
+	c.mu.Lock()
+	if !c.active || c.promoted {
+		c.mu.Unlock()
+		return
+	}
+	c.promoted = true
+	oldPrimary := c.primary
+	sec := c.secondary
+	oldCM := c.cm
+	oldDet := c.det
+	oldAcker := c.acker
+	c.mu.Unlock()
+
+	// The old primary is presumed dead. Tear its stack down without
+	// blocking the control loop (its machine may be unresponsive).
+	go func() {
+		if oldDet != nil {
+			oldDet.Stop()
+		}
+		if oldCM != nil {
+			oldCM.Stop()
+		}
+		oldPrimary.Stop()
+	}()
+
+	// Remove the dead primary from every upstream queue so it stops gating
+	// trims, and drop the read-state plumbing bound to its machine.
+	for _, up := range c.cfg.Wiring.UpstreamOutputs() {
+		up.Unsubscribe(oldPrimary.Node())
+	}
+	oldPrimary.Machine().UnregisterStream(subjob.ReadStateStream(c.cfg.Spec.ID))
+
+	c.mu.Lock()
+	c.primary = sec
+	c.secondary = nil
+	c.active = false
+	c.promotions = append(c.promotions, PromoteEvent{At: c.clk.Now()})
+	c.mu.Unlock()
+
+	// The promoted copy must stop acking on processing: from here on its
+	// checkpoint manager acknowledges after checkpointing, as passive
+	// standby correctness requires.
+	if oldAcker != nil {
+		oldAcker.Stop()
+	}
+
+	spare := c.cfg.SpareMachine
+	if spare == nil {
+		// No spare: the subjob runs unprotected, like passive standby after
+		// exhausting its secondary.
+		return
+	}
+
+	newSec, err := subjob.New(c.cfg.Spec, spare, true)
+	if err != nil {
+		return
+	}
+	spare.CPU().Execute(c.opts.DeployCost)
+	newSec.Start()
+	c.connectStandby(newSec)
+
+	c.mu.Lock()
+	c.secondary = newSec
+	standby := c.standby
+	c.mu.Unlock()
+	if standby != nil {
+		standby.Retarget(newSec)
+	} else {
+		c.mu.Lock()
+		c.standby = NewStandbyStore(newSec)
+		c.mu.Unlock()
+	}
+
+	newCM := checkpoint.NewSweeping(checkpoint.Config{
+		Runtime:   sec,
+		Clock:     c.clk,
+		Interval:  c.opts.CheckpointInterval,
+		StoreNode: spare.ID(),
+		Costs:     c.opts.CheckpointCosts,
+	})
+	newAcker := checkpoint.NewAcker(newSec, c.clk, c.opts.AckInterval)
+	c.mu.Lock()
+	c.cm = newCM
+	c.acker = newAcker
+	c.promoted = false // re-armed: the subjob is protected again
+	c.mu.Unlock()
+	newCM.Start()
+	newAcker.Start()
+
+	c.registerReadStateAck(sec.Machine())
+	c.startDetector(spare, sec.Machine().ID())
+}

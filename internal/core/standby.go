@@ -1,0 +1,152 @@
+// Package core implements the paper's primary contribution: the hybrid
+// high-availability method (Section IV). A protected subjob runs as
+// passive standby in normal conditions — sweeping checkpoints refresh a
+// pre-deployed, suspended secondary copy directly in memory — and switches
+// to active standby on the first missed heartbeat: the secondary's
+// processing loops are resumed (a flag flip), its early-created upstream
+// connections are activated, and unacknowledged data is retransmitted.
+// When the primary becomes responsive again the system rolls back: the
+// primary reads the freshest state from the secondary ("read state on
+// rollback") and the secondary re-suspends. If the failure persists, the
+// secondary is promoted to primary and a new standby is instantiated.
+package core
+
+import (
+	"sync"
+
+	"streamha/internal/subjob"
+	"streamha/internal/transport"
+)
+
+// StandbyStore applies checkpoint messages to a pre-deployed suspended
+// standby copy, refreshing its state directly in memory (the paper's
+// storeJobState(jobState) interface), and confirms storage back to the
+// checkpoint manager. While the standby is active (during a transient
+// failure) incoming checkpoints are acknowledged but not applied: the live
+// state supersedes them, and trimming remains gated by the standby's own
+// acknowledgments.
+type StandbyStore struct {
+	mu sync.Mutex
+	rt *subjob.Runtime
+
+	applied int
+	skipped int
+	work    chan storeReq
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+type storeReq struct {
+	from transport.NodeID
+	msg  transport.Message
+}
+
+// NewStandbyStore starts a store refreshing rt, which must be the
+// suspended standby copy of its subjob.
+func NewStandbyStore(rt *subjob.Runtime) *StandbyStore {
+	s := &StandbyStore{
+		rt:   rt,
+		work: make(chan storeReq, 128),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	rt.Machine().RegisterStream(subjob.CkptStream(rt.Spec().ID), func(from transport.NodeID, msg transport.Message) {
+		select {
+		case s.work <- storeReq{from: from, msg: msg}:
+		case <-s.stop:
+		}
+	})
+	go s.run()
+	return s
+}
+
+// Retarget points the store at a different standby runtime (after a
+// fail-stop promotion instantiates a new secondary).
+func (s *StandbyStore) Retarget(rt *subjob.Runtime) {
+	s.mu.Lock()
+	old := s.rt
+	s.rt = rt
+	s.mu.Unlock()
+	if old.Machine() != rt.Machine() {
+		old.Machine().UnregisterStream(subjob.CkptStream(old.Spec().ID))
+		rt.Machine().RegisterStream(subjob.CkptStream(rt.Spec().ID), func(from transport.NodeID, msg transport.Message) {
+			select {
+			case s.work <- storeReq{from: from, msg: msg}:
+			case <-s.stop:
+			}
+		})
+	}
+}
+
+func (s *StandbyStore) runtime() *subjob.Runtime {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rt
+}
+
+func (s *StandbyStore) run() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case req := <-s.work:
+			s.apply(req)
+		}
+	}
+}
+
+func (s *StandbyStore) apply(req storeReq) {
+	snap, err := subjob.DecodeSnapshot(req.msg.State)
+	if err != nil {
+		return
+	}
+	rt := s.runtime()
+	applied := false
+	rt.Exclusive(func() {
+		if rt.Suspended() {
+			applied = rt.Restore(snap) == nil
+		}
+	})
+	s.mu.Lock()
+	if applied {
+		s.applied++
+	} else {
+		s.skipped++
+	}
+	s.mu.Unlock()
+	rt.Machine().Send(req.from, transport.Message{
+		Kind:    transport.KindControl,
+		Stream:  subjob.CkptAckStream(rt.Spec().ID),
+		Command: "ckpt-stored",
+		Seq:     req.msg.Seq,
+	})
+}
+
+// Applied returns how many checkpoints refreshed the standby in memory.
+func (s *StandbyStore) Applied() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied
+}
+
+// Skipped returns how many checkpoints arrived while the standby was
+// active and were acknowledged without being applied.
+func (s *StandbyStore) Skipped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.skipped
+}
+
+// Close stops the store.
+func (s *StandbyStore) Close() {
+	select {
+	case <-s.stop:
+		return
+	default:
+	}
+	close(s.stop)
+	<-s.done
+	rt := s.runtime()
+	rt.Machine().UnregisterStream(subjob.CkptStream(rt.Spec().ID))
+}

@@ -1,0 +1,81 @@
+package detect
+
+import "time"
+
+// Spike is one ground-truth transient failure interval, as reported by the
+// failure injector.
+type Spike struct {
+	Start time.Time
+	End   time.Time
+}
+
+// Quality scores a detector's declarations against ground truth, yielding
+// the metrics of the paper's Section V-C.
+type Quality struct {
+	// Spikes is the number of injected load spikes.
+	Spikes int
+	// Detected is how many spikes had at least one failure declaration
+	// between their start and a grace period after their end.
+	Detected int
+	// Declarations is the total number of failure declarations.
+	Declarations int
+	// FalseAlarms is the number of declarations outside every spike window.
+	FalseAlarms int
+	// MeanDelay is the mean time from spike start to its first declaration,
+	// over detected spikes.
+	MeanDelay time.Duration
+}
+
+// DetectionRatio returns Detected / Spikes (the paper's background load
+// detection ratio).
+func (q Quality) DetectionRatio() float64 {
+	if q.Spikes == 0 {
+		return 0
+	}
+	return float64(q.Detected) / float64(q.Spikes)
+}
+
+// FalseAlarmRatio returns FalseAlarms / Declarations.
+func (q Quality) FalseAlarmRatio() float64 {
+	if q.Declarations == 0 {
+		return 0
+	}
+	return float64(q.FalseAlarms) / float64(q.Declarations)
+}
+
+// Score matches failure declarations against ground-truth spikes. A
+// declaration within [spike start, spike end + grace] counts for that
+// spike; declarations matching no spike are false alarms.
+func Score(spikes []Spike, events []Event, grace time.Duration) Quality {
+	q := Quality{Spikes: len(spikes)}
+	var delaySum time.Duration
+	firstHit := make([]time.Time, len(spikes))
+	for _, e := range events {
+		if e.Type != EventFailure {
+			continue
+		}
+		q.Declarations++
+		matched := false
+		for i, s := range spikes {
+			if !e.At.Before(s.Start) && !e.At.After(s.End.Add(grace)) {
+				matched = true
+				if firstHit[i].IsZero() || e.At.Before(firstHit[i]) {
+					firstHit[i] = e.At
+				}
+			}
+		}
+		if !matched {
+			q.FalseAlarms++
+		}
+	}
+	for i, s := range spikes {
+		if !firstHit[i].IsZero() {
+			q.Detected++
+			delaySum += firstHit[i].Sub(s.Start)
+		}
+	}
+	if q.Detected > 0 {
+		q.MeanDelay = delaySum / time.Duration(q.Detected)
+	}
+	return q
+}

@@ -1,0 +1,179 @@
+package detect
+
+import (
+	"sync"
+	"time"
+
+	"streamha/internal/clock"
+	"streamha/internal/machine"
+)
+
+// TrendConfig configures a trend (predictive) detector.
+type TrendConfig struct {
+	// Clock is the time source.
+	Clock clock.Clock
+	// Monitor samples the machine's load.
+	Monitor *machine.LoadMonitor
+	// Granularity is the sampling period (default 5 ms).
+	Granularity time.Duration
+	// Threshold is the utilization treated as unavailability (default
+	// 0.95, the paper's delineation).
+	Threshold float64
+	// Horizon is how far ahead the load trend is extrapolated; a predicted
+	// threshold crossing within it declares a failure early (default 50 ms).
+	Horizon time.Duration
+	// Alpha is the EWMA smoothing factor for the load and its slope in
+	// (0, 1]; smaller is smoother (default 0.3).
+	Alpha float64
+	// RecoverBelow is the smoothed load under which recovery is declared
+	// (default Threshold − 0.15).
+	RecoverBelow float64
+	// OnFailure and OnRecovery are invoked from the detector goroutine.
+	OnFailure  func(at time.Time)
+	OnRecovery func(at time.Time)
+}
+
+// Trend is a predictive failure detector in the spirit of the failure
+// prediction work the paper cites (Gu et al.): it smooths the machine's
+// load, estimates its slope, and declares a failure as soon as the
+// extrapolated load crosses the unavailability threshold within the
+// horizon — often before the machine has fully stalled. The paper's
+// hybrid method is explicitly compatible with such detectors ("as long as
+// one can detect such transient unavailability quickly and reliably, our
+// hybrid HA method can readily take advantage of it"); this implementation
+// demonstrates the plug-in point.
+type Trend struct {
+	cfg TrendConfig
+
+	mu      sync.Mutex
+	ewma    float64
+	slope   float64
+	primed  bool
+	failed  bool
+	events  []Event
+	started bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewTrend creates a trend detector.
+func NewTrend(cfg TrendConfig) *Trend {
+	if cfg.Granularity <= 0 {
+		cfg.Granularity = 5 * time.Millisecond
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 0.95
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 50 * time.Millisecond
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = 0.3
+	}
+	if cfg.RecoverBelow <= 0 {
+		cfg.RecoverBelow = cfg.Threshold - 0.15
+	}
+	return &Trend{
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// Start launches the sampling loop.
+func (tr *Trend) Start() {
+	tr.mu.Lock()
+	if tr.started {
+		tr.mu.Unlock()
+		return
+	}
+	tr.started = true
+	tr.mu.Unlock()
+	go tr.run()
+}
+
+// Stop halts the detector.
+func (tr *Trend) Stop() {
+	tr.mu.Lock()
+	if !tr.started {
+		tr.mu.Unlock()
+		return
+	}
+	tr.mu.Unlock()
+	select {
+	case <-tr.stop:
+	default:
+		close(tr.stop)
+	}
+	<-tr.done
+}
+
+func (tr *Trend) run() {
+	defer close(tr.done)
+	t := tr.cfg.Clock.NewTicker(tr.cfg.Granularity)
+	defer t.Stop()
+	for {
+		select {
+		case <-tr.stop:
+			return
+		case <-t.C():
+			tr.sample()
+		}
+	}
+}
+
+func (tr *Trend) sample() {
+	load := tr.cfg.Monitor.Utilization()
+	now := tr.cfg.Clock.Now()
+
+	var declareFailure, declareRecovery bool
+	tr.mu.Lock()
+	if !tr.primed {
+		tr.ewma = load
+		tr.primed = true
+		tr.mu.Unlock()
+		return
+	}
+	prev := tr.ewma
+	tr.ewma = tr.cfg.Alpha*load + (1-tr.cfg.Alpha)*tr.ewma
+	// Slope per sample, smoothed the same way.
+	tr.slope = tr.cfg.Alpha*(tr.ewma-prev) + (1-tr.cfg.Alpha)*tr.slope
+
+	// Extrapolate the smoothed load over the horizon.
+	steps := float64(tr.cfg.Horizon) / float64(tr.cfg.Granularity)
+	predicted := tr.ewma + tr.slope*steps
+
+	switch {
+	case !tr.failed && (tr.ewma >= tr.cfg.Threshold || (tr.slope > 0 && predicted >= tr.cfg.Threshold)):
+		tr.failed = true
+		tr.events = append(tr.events, Event{Type: EventFailure, At: now})
+		declareFailure = true
+	case tr.failed && tr.ewma <= tr.cfg.RecoverBelow && tr.slope <= 0.01:
+		tr.failed = false
+		tr.events = append(tr.events, Event{Type: EventRecovery, At: now})
+		declareRecovery = true
+	}
+	tr.mu.Unlock()
+
+	if declareFailure && tr.cfg.OnFailure != nil {
+		tr.cfg.OnFailure(now)
+	}
+	if declareRecovery && tr.cfg.OnRecovery != nil {
+		tr.cfg.OnRecovery(now)
+	}
+}
+
+// Failed reports whether the detector currently predicts or observes
+// unavailability.
+func (tr *Trend) Failed() bool {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.failed
+}
+
+// Events returns a copy of the declared events.
+func (tr *Trend) Events() []Event {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]Event(nil), tr.events...)
+}

@@ -1,0 +1,91 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"streamha/internal/clock"
+	"streamha/internal/machine"
+)
+
+func newTrendRig(t *testing.T) (*machine.Machine, *machine.LoadMonitor, *Trend) {
+	t.Helper()
+	r := newDetRig(t)
+	lm := machine.NewLoadMonitor(r.tgt.CPU(), clock.New(), 3*time.Millisecond)
+	t.Cleanup(lm.Stop)
+	tr := NewTrend(TrendConfig{
+		Clock:       clock.New(),
+		Monitor:     lm,
+		Granularity: 3 * time.Millisecond,
+		Threshold:   0.9,
+		Horizon:     30 * time.Millisecond,
+	})
+	tr.Start()
+	t.Cleanup(tr.Stop)
+	return r.tgt, lm, tr
+}
+
+func TestTrendQuietWhenIdle(t *testing.T) {
+	_, _, tr := newTrendRig(t)
+	time.Sleep(150 * time.Millisecond)
+	if tr.Failed() || len(tr.Events()) != 0 {
+		t.Fatalf("trend fired on an idle machine: %+v", tr.Events())
+	}
+}
+
+func TestTrendDetectsAndRecovers(t *testing.T) {
+	m, _, tr := newTrendRig(t)
+	time.Sleep(50 * time.Millisecond)
+	m.CPU().SetBackgroundLoad(1)
+	deadline := time.Now().Add(2 * time.Second)
+	for !tr.Failed() && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !tr.Failed() {
+		t.Fatal("stall not detected")
+	}
+	m.CPU().SetBackgroundLoad(0)
+	deadline = time.Now().Add(2 * time.Second)
+	for tr.Failed() && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if tr.Failed() {
+		t.Fatal("recovery not detected")
+	}
+	events := tr.Events()
+	if len(events) < 2 || events[0].Type != EventFailure || events[len(events)-1].Type != EventRecovery {
+		t.Fatalf("event sequence %+v", events)
+	}
+}
+
+// TestTrendPredictsRampBeforeThreshold drives the load up in steps below
+// the threshold and checks the detector fires on the extrapolated trend —
+// the predictive behavior that distinguishes it from a plain threshold.
+func TestTrendPredictsRampBeforeThreshold(t *testing.T) {
+	m, _, tr := newTrendRig(t)
+	time.Sleep(30 * time.Millisecond)
+	var firedAtLoad float64 = -1
+	for _, load := range []float64{0.3, 0.45, 0.6, 0.7, 0.8, 0.85, 0.88} {
+		m.CPU().SetBackgroundLoad(load)
+		time.Sleep(25 * time.Millisecond)
+		if tr.Failed() && firedAtLoad < 0 {
+			firedAtLoad = load
+		}
+	}
+	if firedAtLoad < 0 {
+		t.Fatal("predictive detector never fired on a sustained ramp toward the threshold")
+	}
+	if firedAtLoad >= 0.9 {
+		t.Fatalf("fired only at load %.2f — not predictive", firedAtLoad)
+	}
+}
+
+func TestTrendDefaults(t *testing.T) {
+	tr := NewTrend(TrendConfig{})
+	if tr.cfg.Threshold != 0.95 || tr.cfg.Granularity <= 0 || tr.cfg.Horizon <= 0 {
+		t.Fatalf("defaults %+v", tr.cfg)
+	}
+	if tr.cfg.RecoverBelow >= tr.cfg.Threshold {
+		t.Fatal("recovery threshold must sit below the failure threshold")
+	}
+}

@@ -1,0 +1,98 @@
+package element
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	e := Element{ID: 42, Origin: 1234567890, Seq: 7, Payload: -3}
+	b := e.AppendEncode(nil)
+	if len(b) != EncodedSize {
+		t.Fatalf("encoded size %d, want %d", len(b), EncodedSize)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got != e {
+		t.Fatalf("round trip: got %+v want %+v", got, e)
+	}
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	f := func(id uint64, origin int64, seq uint64, payload int64) bool {
+		e := Element{ID: id, Origin: origin, Seq: seq, Payload: payload}
+		got, err := Decode(e.AppendEncode(nil))
+		return err == nil && got == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeShortBuffer(t *testing.T) {
+	if _, err := Decode(make([]byte, EncodedSize-1)); err == nil {
+		t.Fatal("want error on short buffer")
+	}
+}
+
+func TestAppendEncodeAppends(t *testing.T) {
+	prefix := []byte{1, 2, 3}
+	e := Element{ID: 1}
+	b := e.AppendEncode(prefix)
+	if len(b) != 3+EncodedSize {
+		t.Fatalf("len %d", len(b))
+	}
+	if b[0] != 1 || b[1] != 2 || b[2] != 3 {
+		t.Fatal("prefix clobbered")
+	}
+}
+
+func TestDeriveIDIdentityForFirstOutput(t *testing.T) {
+	for _, id := range []uint64{0, 1, 42, 1 << 60} {
+		if got := DeriveID(id, 0); got != id {
+			t.Fatalf("DeriveID(%d, 0) = %d, want identity", id, got)
+		}
+	}
+}
+
+func TestDeriveIDDeterministic(t *testing.T) {
+	if DeriveID(99, 3) != DeriveID(99, 3) {
+		t.Fatal("DeriveID must be deterministic")
+	}
+}
+
+func TestDeriveIDDistinctAcrossIndices(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for parent := uint64(1); parent <= 100; parent++ {
+		for i := 0; i < 10; i++ {
+			id := DeriveID(parent, i)
+			if seen[id] {
+				t.Fatalf("collision at parent=%d i=%d", parent, i)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestDeriveIDDistinctProperty(t *testing.T) {
+	f := func(parent uint64, i, j uint8) bool {
+		a := int(i%16) + 1
+		b := int(j%16) + 1
+		if a == b {
+			return true
+		}
+		return DeriveID(parent, a) != DeriveID(parent, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElementString(t *testing.T) {
+	s := Element{ID: 1, Seq: 2, Payload: 3}.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,139 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"streamha/internal/failure"
+	"streamha/internal/ha"
+)
+
+func TestDefaultParamsFillEverything(t *testing.T) {
+	p := Params{}.withDefaults()
+	if p.Rate == 0 || p.PECost == 0 || p.Subjobs == 0 || p.CheckpointInterval == 0 ||
+		p.HeartbeatInterval == 0 || p.Run == 0 || p.SpikeDuration == 0 || p.Seed == 0 {
+		t.Fatalf("defaults incomplete: %+v", p)
+	}
+	// Explicit values survive.
+	p2 := Params{Rate: 42}.withDefaults()
+	if p2.Rate != 42 {
+		t.Fatal("explicit rate overridden")
+	}
+}
+
+func TestUniformAndAllModes(t *testing.T) {
+	m := uniformModes(4, 1, ha.ModeHybrid)
+	if m[0] != ha.ModeNone || m[1] != ha.ModeHybrid || m[3] != ha.ModeNone {
+		t.Fatalf("uniform %v", m)
+	}
+	a := allModes(3, ha.ModeActive)
+	for _, v := range a {
+		if v != ha.ModeActive {
+			t.Fatalf("all %v", a)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		Title:  "T",
+		Note:   "note",
+		Header: []string{"a", "longer"},
+		Rows:   [][]string{{"x", "1"}, {"yyyy", "2"}},
+	}
+	out := tb.Render()
+	for _, want := range []string{"T\n", "note", "a", "longer", "yyyy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig01ReproducesSlowdown(t *testing.T) {
+	r, err := RunFig01(Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Machines) != 21 {
+		t.Fatalf("machines %d", len(r.Machines))
+	}
+	slow := float64(r.LoadedMean) / float64(r.CleanMean)
+	// Paper: 0.58s vs ~0.90s, about +55%.
+	if slow < 1.3 || slow > 1.9 {
+		t.Fatalf("slowdown %.2f, want ~1.55", slow)
+	}
+	if got := r.Table().Render(); !strings.Contains(got, "Figure 1") {
+		t.Fatal("table broken")
+	}
+}
+
+func TestRunFig02And03AnchorsAndTable(t *testing.T) {
+	r := RunFig02And03(failure.DefaultTraceConfig())
+	if r.FractionUnder60s < 0.6 || r.FractionUnder60s > 0.9 {
+		t.Fatalf("frac under 60s %.2f", r.FractionUnder60s)
+	}
+	if r.FractionDurUnder10s < 0.55 || r.FractionDurUnder10s > 0.85 {
+		t.Fatalf("frac under 10s %.2f", r.FractionDurUnder10s)
+	}
+	if len(r.InterFailureCDF) == 0 || len(r.DurationCDF) == 0 {
+		t.Fatal("empty CDFs")
+	}
+	out := r.Table().Render()
+	if !strings.Contains(out, "Figures 2 & 3") {
+		t.Fatal("table broken")
+	}
+}
+
+func TestValueAtFraction(t *testing.T) {
+	r := RunFig02And03(failure.DefaultTraceConfig())
+	lo := valueAtFraction(r.InterFailureCDF, 0.1)
+	hi := valueAtFraction(r.InterFailureCDF, 0.9)
+	if lo > hi {
+		t.Fatalf("CDF not monotone: %f > %f", lo, hi)
+	}
+	if valueAtFraction(nil, 0.5) != 0 {
+		t.Fatal("empty CDF")
+	}
+}
+
+func TestRecoveryPhasesTotal(t *testing.T) {
+	r := RecoveryPhases{Detection: time.Millisecond, Deploy: 2 * time.Millisecond, Reprocess: 3 * time.Millisecond}
+	if r.Total() != 6*time.Millisecond {
+		t.Fatalf("total %v", r.Total())
+	}
+}
+
+// TestRunFig07SingleQuickPoint runs one real recovery decomposition,
+// keeping the full harness covered by a fast test.
+func TestRunFig07SingleQuickPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time experiment")
+	}
+	p := DefaultParams()
+	p.Run = time.Second
+	r, err := RunFig07(p, []time.Duration{20 * time.Millisecond}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	var ps, hy RecoveryPhases
+	for _, row := range r.Rows {
+		switch row.Mode {
+		case ha.ModePassive:
+			ps = row
+		case ha.ModeHybrid:
+			hy = row
+		}
+	}
+	// The paper's headline: hybrid detection well under PS's (1 vs 3
+	// misses) and resume well under redeployment.
+	if hy.Detection >= ps.Detection {
+		t.Fatalf("hybrid detection %v not faster than PS %v", hy.Detection, ps.Detection)
+	}
+	if hy.Deploy >= ps.Deploy {
+		t.Fatalf("hybrid resume %v not faster than PS redeploy %v", hy.Deploy, ps.Deploy)
+	}
+}

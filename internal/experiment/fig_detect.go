@@ -1,0 +1,160 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"streamha/internal/detect"
+	"streamha/internal/failure"
+	"streamha/internal/ha"
+	"streamha/internal/machine"
+)
+
+// Fig12And13Point is one machine-load measurement of both detectors.
+type Fig12And13Point struct {
+	Load float64
+	// Heartbeat and Benchmark quality at this load.
+	Heartbeat detect.Quality
+	Benchmark detect.Quality
+}
+
+// Fig12And13Result reproduces Figures 12 and 13 (plus the detection-delay
+// comparison of Section V-C) in one family of runs.
+type Fig12And13Result struct {
+	Spikes int
+	Points []Fig12And13Point
+}
+
+// Fig12Loads is the default machine-load sweep (paper: 60–95%).
+var Fig12Loads = []float64{0.6, 0.7, 0.8, 0.85, 0.9, 0.95}
+
+// RunFig12And13 runs a bursty one-subjob pipeline on the monitored
+// machine, injects spikes of each load level, and scores the heartbeat and
+// benchmark detectors against the injector's ground truth.
+func RunFig12And13(p Params, loads []float64, spikes int) (*Fig12And13Result, error) {
+	p = p.withDefaults()
+	p.Subjobs = 1
+	if len(loads) == 0 {
+		loads = Fig12Loads
+	}
+	if spikes <= 0 {
+		spikes = 15
+	}
+	// The paper uses an 110 ms heartbeat for the detector comparison
+	// (one-fifth scale here).
+	hb := 22 * time.Millisecond
+	res := &Fig12And13Result{Spikes: spikes}
+
+	for _, load := range loads {
+		tb, err := newTestbed(testbedConfig{
+			params: p,
+			modes:  []ha.Mode{ha.ModeNone},
+			// Bursty input: double-rate on-periods, matching the stream
+			// burstiness that defeats the benchmark method.
+			burstOn:  40 * time.Millisecond,
+			burstOff: 40 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		monM := tb.cl.MustAddMachine("m-mon")
+		target := tb.cl.Machine("p0")
+		if err := tb.pipe.Start(); err != nil {
+			tb.close()
+			return nil, err
+		}
+
+		hbDet := detect.NewHeartbeat(detect.HeartbeatConfig{
+			Monitor:       monM,
+			Clock:         tb.cl.Clock(),
+			Target:        target.ID(),
+			Session:       "quality",
+			Interval:      hb,
+			MissThreshold: 1,
+		})
+		hbDet.Start()
+		lm := machine.NewLoadMonitor(target.CPU(), tb.cl.Clock(), 5*time.Millisecond)
+		bmDet := detect.NewBenchmark(detect.BenchmarkConfig{
+			Machine:       target,
+			Clock:         tb.cl.Clock(),
+			Monitor:       lm,
+			Granularity:   5 * time.Millisecond,
+			LoadThreshold: 0.5,
+			ProbeWork:     2 * time.Millisecond,
+			Factor:        2.5,
+		})
+		bmDet.Start()
+		time.Sleep(p.Warmup)
+
+		inj := failure.NewInjector(failure.InjectorConfig{
+			CPU:      target.CPU(),
+			Clock:    tb.cl.Clock(),
+			Pattern:  failure.Regular,
+			Gap:      400 * time.Millisecond,
+			Duration: 250 * time.Millisecond,
+			LoadMin:  load,
+			LoadMax:  load,
+			Seed:     p.Seed,
+		})
+		inj.Start()
+		deadline := time.Now().Add(time.Duration(spikes) * 700 * time.Millisecond)
+		for len(inj.Spikes()) < spikes && time.Now().Before(deadline) {
+			time.Sleep(50 * time.Millisecond)
+		}
+		inj.Stop()
+		time.Sleep(100 * time.Millisecond)
+
+		truth := make([]detect.Spike, 0, spikes)
+		for _, s := range inj.Spikes() {
+			truth = append(truth, detect.Spike{Start: s.Start, End: s.End})
+		}
+		grace := 3*hb + 30*time.Millisecond
+		point := Fig12And13Point{
+			Load:      load,
+			Heartbeat: detect.Score(truth, hbDet.Events(), grace),
+			Benchmark: detect.Score(truth, bmDet.Events(), grace),
+		}
+		hbDet.Stop()
+		bmDet.Stop()
+		lm.Stop()
+		tb.close()
+		res.Points = append(res.Points, point)
+	}
+	return res, nil
+}
+
+// Fig12Table renders the detection-ratio half (Figure 12).
+func (r *Fig12And13Result) Fig12Table() Table {
+	t := Table{
+		Title:  "Figure 12: background load detection ratio vs machine load",
+		Note:   "paper shape: benchmark ≈ 1 at every load (oversensitive); heartbeat low at low load, ≈ 1 at ≥90%",
+		Header: []string{"load", "heartbeat", "benchmark"},
+	}
+	for _, pt := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f%%", pt.Load*100),
+			f2(pt.Heartbeat.DetectionRatio()),
+			f2(pt.Benchmark.DetectionRatio()),
+		})
+	}
+	return t
+}
+
+// Fig13Table renders the false-alarm half (Figure 13).
+func (r *Fig12And13Result) Fig13Table() Table {
+	t := Table{
+		Title:  "Figure 13: false alarm ratio vs machine load",
+		Note:   "paper shape: benchmark >15% even at 90% load; heartbeat ≈ 0 at every load",
+		Header: []string{"load", "heartbeat", "benchmark", "hb-delay(ms)", "bm-delay(ms)"},
+	}
+	for _, pt := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f%%", pt.Load*100),
+			f2(pt.Heartbeat.FalseAlarmRatio()),
+			f2(pt.Benchmark.FalseAlarmRatio()),
+			ms(pt.Heartbeat.MeanDelay),
+			ms(pt.Benchmark.MeanDelay),
+		})
+	}
+	return t
+}

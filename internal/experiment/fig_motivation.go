@@ -1,0 +1,184 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"streamha/internal/cluster"
+	"streamha/internal/failure"
+	"streamha/internal/metrics"
+)
+
+// Fig01Result reproduces Figure 1: the processing time of a parallel
+// application across machines 41–61, where machines 54–61 carry co-located
+// background load and therefore finish ~50% slower.
+type Fig01Result struct {
+	// Machines maps machine number to measured processing time.
+	Machines []Fig01Machine
+	// CleanMean and LoadedMean are the means over unloaded and loaded
+	// machines.
+	CleanMean, LoadedMean time.Duration
+}
+
+// Fig01Machine is one machine's measurement.
+type Fig01Machine struct {
+	ID      int
+	Loaded  bool
+	Elapsed time.Duration
+}
+
+// RunFig01 executes the same unit of work on 21 simulated machines, with
+// background load on machines 54–61, mirroring the uncontrolled
+// measurement of Figure 1 (0.58 s vs 0.90 s at paper scale; one-tenth
+// here).
+func RunFig01(p Params) (*Fig01Result, error) {
+	p = p.withDefaults()
+	cl := cluster.New(cluster.Config{Latency: p.Latency})
+	defer cl.Close()
+
+	const work = 58 * time.Millisecond // paper: 0.58 s
+	res := &Fig01Result{}
+	type meas struct {
+		id      int
+		loaded  bool
+		elapsed time.Duration
+	}
+	var wg sync.WaitGroup
+	out := make([]meas, 0, 21)
+	var mu sync.Mutex
+	for id := 41; id <= 61; id++ {
+		m := cl.MustAddMachine(fmt.Sprintf("m%d", id))
+		loaded := id >= 54
+		if loaded {
+			// Another application occupies part of the machine.
+			m.CPU().SetBackgroundLoad(0.35)
+		}
+		wg.Add(1)
+		go func(id int, loaded bool) {
+			defer wg.Done()
+			start := cl.Clock().Now()
+			m.CPU().Execute(work)
+			elapsed := cl.Clock().Since(start)
+			mu.Lock()
+			out = append(out, meas{id: id, loaded: loaded, elapsed: elapsed})
+			mu.Unlock()
+		}(id, loaded)
+	}
+	wg.Wait()
+
+	var cleanSum, loadedSum time.Duration
+	var cleanN, loadedN int
+	for id := 41; id <= 61; id++ {
+		for _, m := range out {
+			if m.id != id {
+				continue
+			}
+			res.Machines = append(res.Machines, Fig01Machine{ID: m.id, Loaded: m.loaded, Elapsed: m.elapsed})
+			if m.loaded {
+				loadedSum += m.elapsed
+				loadedN++
+			} else {
+				cleanSum += m.elapsed
+				cleanN++
+			}
+		}
+	}
+	if cleanN > 0 {
+		res.CleanMean = cleanSum / time.Duration(cleanN)
+	}
+	if loadedN > 0 {
+		res.LoadedMean = loadedSum / time.Duration(loadedN)
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r *Fig01Result) Table() Table {
+	t := Table{
+		Title:  "Figure 1: processing time per machine (transient co-location)",
+		Note:   fmt.Sprintf("paper: ~0.58s vs ~0.90s (+55%%); here (1/10 scale): %s ms vs %s ms", ms(r.CleanMean), ms(r.LoadedMean)),
+		Header: []string{"machine", "background", "processing(ms)"},
+	}
+	for _, m := range r.Machines {
+		bg := "idle"
+		if m.Loaded {
+			bg = "loaded"
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", m.ID), bg, ms(m.Elapsed)})
+	}
+	return t
+}
+
+// Fig02And03Result reproduces Figures 2 and 3: the CDFs of mean
+// inter-failure time and mean failure duration across the synthetic
+// 83-machine cluster trace.
+type Fig02And03Result struct {
+	// InterFailureCDF is the CDF of per-machine mean inter-failure time in
+	// seconds.
+	InterFailureCDF []metrics.CDFPoint
+	// DurationCDF is the CDF of per-machine mean spike duration in seconds.
+	DurationCDF []metrics.CDFPoint
+	// FractionUnder60s is the fraction of machines spiking more often than
+	// once per 60 s (paper: ~75%).
+	FractionUnder60s float64
+	// FractionDurUnder10s is the fraction of machines whose mean spike
+	// lasts under 10 s (paper: ~70%).
+	FractionDurUnder10s float64
+	// FractionDurOver20s is the fraction over 20 s (paper: ~20%).
+	FractionDurOver20s float64
+}
+
+// RunFig02And03 generates the synthetic cluster trace and computes both
+// CDFs. Pure computation over virtual time; instant.
+func RunFig02And03(cfg failure.TraceConfig) *Fig02And03Result {
+	traces := failure.GenerateTrace(cfg)
+	var inter, dur []float64
+	for _, t := range traces {
+		if v, ok := t.MeanInterFailure(); ok {
+			inter = append(inter, v.Seconds())
+		}
+		if v, ok := t.MeanDuration(); ok {
+			dur = append(dur, v.Seconds())
+		}
+	}
+	return &Fig02And03Result{
+		InterFailureCDF:     metrics.CDF(inter),
+		DurationCDF:         metrics.CDF(dur),
+		FractionUnder60s:    metrics.FractionBelow(inter, 60),
+		FractionDurUnder10s: metrics.FractionBelow(dur, 10),
+		FractionDurOver20s:  1 - metrics.FractionBelow(dur, 20),
+	}
+}
+
+// Table renders Figure 2 (inter-failure CDF at decile points).
+func (r *Fig02And03Result) Table() Table {
+	t := Table{
+		Title: "Figures 2 & 3: transient failure frequency and duration (83-machine synthetic trace)",
+		Note: fmt.Sprintf("paper: ~75%% of machines spike >1/60s, ~70%% of spikes <10s, ~20%% >20s; "+
+			"here: %.0f%%, %.0f%%, %.0f%%",
+			100*r.FractionUnder60s, 100*r.FractionDurUnder10s, 100*r.FractionDurOver20s),
+		Header: []string{"CDF fraction", "inter-failure(s)", "duration(s)"},
+	}
+	for _, f := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+		t.Rows = append(t.Rows, []string{
+			f2(f),
+			f2(valueAtFraction(r.InterFailureCDF, f)),
+			f2(valueAtFraction(r.DurationCDF, f)),
+		})
+	}
+	return t
+}
+
+// valueAtFraction returns the smallest CDF value whose fraction reaches f.
+func valueAtFraction(cdf []metrics.CDFPoint, f float64) float64 {
+	for _, pt := range cdf {
+		if pt.Fraction >= f {
+			return pt.Value
+		}
+	}
+	if len(cdf) == 0 {
+		return 0
+	}
+	return cdf[len(cdf)-1].Value
+}

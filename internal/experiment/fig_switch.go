@@ -1,0 +1,182 @@
+package experiment
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"streamha/internal/failure"
+	"streamha/internal/ha"
+	"streamha/internal/transport"
+)
+
+// Fig09And10Point is one (rate, outage duration) measurement of the hybrid
+// switchover/rollback cycle.
+type Fig09And10Point struct {
+	Rate   float64
+	Outage time.Duration
+	// SwitchoverTime is detection-declared to standby running+connected.
+	SwitchoverTime time.Duration
+	// RollbackTime is recovery-declared to primary holding the read state.
+	RollbackTime time.Duration
+	// OverheadElements is the message overhead of the cycle: element units
+	// sent to the unresponsive primary during the outage, plus the state
+	// read back at rollback (Figure 10's metric).
+	OverheadElements int64
+	// ReadStateElements is the read-back state's share of it.
+	ReadStateElements int64
+}
+
+// Fig09And10Result reproduces Figures 9 and 10 in one family of runs.
+type Fig09And10Result struct {
+	Points []Fig09And10Point
+}
+
+// Fig09Rates is the default rate sweep (the paper's 100–700 elements/s).
+var Fig09Rates = []float64{100, 300, 500, 700}
+
+// Fig09Outages are the outage durations (paper: 5 s and 10 s at one-fifth
+// scale).
+var Fig09Outages = []time.Duration{time.Second, 2 * time.Second}
+
+// RunFig09And10 overloads the protected subjob's primary for fixed
+// periods at each rate and measures switchover time, rollback time and
+// the cycle's message overhead.
+func RunFig09And10(p Params, rates []float64, outages []time.Duration, repeats int) (*Fig09And10Result, error) {
+	p = p.withDefaults()
+	if len(rates) == 0 {
+		rates = Fig09Rates
+	}
+	if len(outages) == 0 {
+		outages = Fig09Outages
+	}
+	if repeats <= 0 {
+		repeats = 3
+	}
+	const protected = 1
+	res := &Fig09And10Result{}
+	for _, outage := range outages {
+		for _, rate := range rates {
+			var swSum, rbSum time.Duration
+			var ovSum, rsSum int64
+			ok := 0
+			for rep := 0; rep < repeats; rep++ {
+				pp := p
+				pp.Rate = rate
+				pp.Seed = p.Seed + int64(rep)
+				tb, err := newTestbed(testbedConfig{
+					params: pp,
+					modes:  uniformModes(pp.Subjobs, protected, ha.ModeHybrid),
+				})
+				if err != nil {
+					return nil, err
+				}
+				if err := tb.pipe.Start(); err != nil {
+					tb.close()
+					return nil, err
+				}
+				time.Sleep(pp.Warmup)
+
+				priM := tb.cl.Machine(fmt.Sprintf("p%d", protected))
+				priNode := priM.ID()
+
+				// Count element units addressed to the stalled primary
+				// during the outage window.
+				var counting atomic.Bool
+				var toPrimary atomic.Int64
+				tb.cl.Network().SetObserver(func(_, to transport.NodeID, msg *transport.Message) {
+					if counting.Load() && to == priNode {
+						if n := msg.ElementUnits(); n > 0 {
+							toPrimary.Add(int64(n))
+						}
+					}
+				})
+				counting.Store(true)
+				spike := failure.InjectOnce(priM.CPU(), tb.cl.Clock(), 1.0, outage, 0)
+				counting.Store(false)
+				time.Sleep(400 * time.Millisecond) // let the rollback finish
+				tb.cl.Network().SetObserver(nil)
+
+				g := tb.pipe.Group(protected)
+				var swDur, rbDur time.Duration
+				var rsUnits int64
+				found := false
+				for _, sw := range g.Hybrid.Switches() {
+					if !sw.DetectedAt.Before(spike.Start) {
+						swDur = sw.ReadyAt.Sub(sw.DetectedAt)
+						found = true
+						break
+					}
+				}
+				for _, rb := range g.Hybrid.Rollbacks() {
+					if !rb.StartedAt.Before(spike.Start) {
+						rbDur = rb.DoneAt.Sub(rb.StartedAt)
+						rsUnits = int64(rb.StateUnits)
+						break
+					}
+				}
+				tb.close()
+				if !found || rbDur == 0 {
+					continue
+				}
+				swSum += swDur
+				rbSum += rbDur
+				// The paper's metric: data sent to the unresponsive primary
+				// during the failure, plus the state read back at rollback.
+				ovSum += toPrimary.Load() + rsUnits
+				rsSum += rsUnits
+				ok++
+			}
+			if ok == 0 {
+				return nil, fmt.Errorf("experiment: no completed switch/rollback cycle at rate %.0f", rate)
+			}
+			res.Points = append(res.Points, Fig09And10Point{
+				Rate:              rate,
+				Outage:            outage,
+				SwitchoverTime:    swSum / time.Duration(ok),
+				RollbackTime:      rbSum / time.Duration(ok),
+				OverheadElements:  ovSum / int64(ok),
+				ReadStateElements: rsSum / int64(ok),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Fig09Table renders the timing half (Figure 9).
+func (r *Fig09And10Result) Fig09Table() Table {
+	t := Table{
+		Title:  "Figure 9: switchover and rollback time vs data rate",
+		Note:   "paper shape: switchover flat across rates; rollback grows with rate (state read-back); ~+20% overall over the sweep",
+		Header: []string{"outage", "rate(elem/s)", "switchover(ms)", "rollback(ms)", "total(ms)"},
+	}
+	for _, pt := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			pt.Outage.String(),
+			fmt.Sprintf("%.0f", pt.Rate),
+			ms(pt.SwitchoverTime),
+			ms(pt.RollbackTime),
+			ms(pt.SwitchoverTime + pt.RollbackTime),
+		})
+	}
+	return t
+}
+
+// Fig10Table renders the overhead half (Figure 10).
+func (r *Fig09And10Result) Fig10Table() Table {
+	t := Table{
+		Title:  "Figure 10: switchover and rollback message overhead vs data rate",
+		Note:   "paper shape: overhead ≈ rate × outage duration (data to the unresponsive primary dominates); read-state share small",
+		Header: []string{"outage", "rate(elem/s)", "overhead-elems", "read-state-elems", "rate×outage"},
+	}
+	for _, pt := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			pt.Outage.String(),
+			fmt.Sprintf("%.0f", pt.Rate),
+			fmt.Sprintf("%d", pt.OverheadElements),
+			fmt.Sprintf("%d", pt.ReadStateElements),
+			fmt.Sprintf("%.0f", pt.Rate*pt.Outage.Seconds()),
+		})
+	}
+	return t
+}

@@ -1,0 +1,195 @@
+package failure
+
+import (
+	"testing"
+	"time"
+
+	"streamha/internal/clock"
+	"streamha/internal/machine"
+)
+
+func TestGapForFraction(t *testing.T) {
+	d := 100 * time.Millisecond
+	cases := []struct {
+		fraction float64
+		want     time.Duration
+	}{
+		{0.5, 100 * time.Millisecond},
+		{0.25, 300 * time.Millisecond},
+		{1, 0},
+	}
+	for _, c := range cases {
+		if got := GapForFraction(d, c.fraction); got != c.want {
+			t.Fatalf("GapForFraction(%v, %v) = %v, want %v", d, c.fraction, got, c.want)
+		}
+	}
+	if got := GapForFraction(d, 0); got < time.Hour {
+		t.Fatalf("zero fraction gap %v, want effectively infinite", got)
+	}
+}
+
+func TestInjectorRegularSchedule(t *testing.T) {
+	cpu := machine.NewCPU(clock.New())
+	inj := NewInjector(InjectorConfig{
+		CPU:      cpu,
+		Clock:    clock.New(),
+		Pattern:  Regular,
+		Gap:      30 * time.Millisecond,
+		Duration: 30 * time.Millisecond,
+		LoadMin:  0.9,
+		LoadMax:  0.9,
+		Seed:     1,
+	})
+	inj.Start()
+	time.Sleep(200 * time.Millisecond)
+	inj.Stop()
+	spikes := inj.Spikes()
+	if len(spikes) < 2 || len(spikes) > 5 {
+		t.Fatalf("got %d spikes in 200ms at 60ms period", len(spikes))
+	}
+	for _, s := range spikes {
+		d := s.End.Sub(s.Start)
+		if d < 20*time.Millisecond || d > 80*time.Millisecond {
+			t.Fatalf("spike duration %v", d)
+		}
+	}
+	if cpu.BackgroundLoad() != 0 {
+		t.Fatal("load not restored after Stop")
+	}
+}
+
+func TestInjectorPoissonDoesNotDeadlock(t *testing.T) {
+	cpu := machine.NewCPU(clock.New())
+	inj := NewInjector(InjectorConfig{
+		CPU:      cpu,
+		Clock:    clock.New(),
+		Pattern:  Poisson,
+		Gap:      10 * time.Millisecond,
+		Duration: 10 * time.Millisecond,
+		LoadMin:  0.8,
+		LoadMax:  1.0,
+		Seed:     7,
+	})
+	inj.Start()
+	time.Sleep(100 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		inj.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Poisson injector Stop deadlocked")
+	}
+	if len(inj.Spikes()) == 0 {
+		t.Fatal("Poisson injector injected nothing")
+	}
+}
+
+func TestInjectorStopIdempotent(t *testing.T) {
+	inj := NewInjector(InjectorConfig{
+		CPU:      machine.NewCPU(clock.New()),
+		Clock:    clock.New(),
+		Gap:      time.Hour,
+		Duration: time.Millisecond,
+	})
+	inj.Stop() // before start: no-op
+	inj.Start()
+	inj.Stop()
+	inj.Stop()
+}
+
+func TestInjectOnce(t *testing.T) {
+	cpu := machine.NewCPU(clock.New())
+	start := time.Now()
+	spike := InjectOnce(cpu, clock.New(), 0.95, 30*time.Millisecond, 0.1)
+	if time.Since(start) < 30*time.Millisecond {
+		t.Fatal("returned before outage ended")
+	}
+	if spike.End.Sub(spike.Start) < 30*time.Millisecond {
+		t.Fatalf("spike interval %v", spike.End.Sub(spike.Start))
+	}
+	if got := cpu.BackgroundLoad(); got != 0.1 {
+		t.Fatalf("base load %v after outage", got)
+	}
+}
+
+func TestGenerateTraceReproducible(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	a := GenerateTrace(cfg)
+	b := GenerateTrace(cfg)
+	if len(a) != cfg.Machines || len(b) != cfg.Machines {
+		t.Fatalf("machine counts %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i].Spikes) != len(b[i].Spikes) {
+			t.Fatalf("machine %d: %d vs %d spikes", i, len(a[i].Spikes), len(b[i].Spikes))
+		}
+	}
+}
+
+func TestGenerateTraceMatchesPaperAnchors(t *testing.T) {
+	traces := GenerateTrace(DefaultTraceConfig())
+	interUnder60, durUnder10, durOver20, n := 0, 0, 0, 0
+	for _, tr := range traces {
+		inter, ok := tr.MeanInterFailure()
+		if !ok {
+			continue
+		}
+		dur, _ := tr.MeanDuration()
+		n++
+		if inter < 60*time.Second {
+			interUnder60++
+		}
+		if dur < 10*time.Second {
+			durUnder10++
+		}
+		if dur > 20*time.Second {
+			durOver20++
+		}
+	}
+	if n < 70 {
+		t.Fatalf("only %d machines produced spikes", n)
+	}
+	// Paper anchors: ~75%, ~70%, ~20%. Allow generous tolerance.
+	if f := float64(interUnder60) / float64(n); f < 0.6 || f > 0.9 {
+		t.Fatalf("inter-failure <60s fraction %.2f", f)
+	}
+	if f := float64(durUnder10) / float64(n); f < 0.55 || f > 0.85 {
+		t.Fatalf("duration <10s fraction %.2f", f)
+	}
+	if f := float64(durOver20) / float64(n); f < 0.08 || f > 0.35 {
+		t.Fatalf("duration >20s fraction %.2f", f)
+	}
+}
+
+func TestTraceSpikesAreOrderedAndQuantized(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	cfg.Machines = 5
+	for _, tr := range GenerateTrace(cfg) {
+		var prev SpikeOffsets
+		for i, s := range tr.Spikes {
+			if s.End <= s.Start {
+				t.Fatalf("empty spike %+v", s)
+			}
+			if i > 0 && s.Start < prev.End {
+				t.Fatalf("overlapping spikes %+v after %+v", s, prev)
+			}
+			if s.Start%cfg.SampleInterval != 0 || s.End%cfg.SampleInterval != 0 {
+				t.Fatalf("unquantized spike %+v", s)
+			}
+			prev = s
+		}
+	}
+}
+
+func TestMeanHelpersEmptyTrace(t *testing.T) {
+	var tr MachineTrace
+	if _, ok := tr.MeanInterFailure(); ok {
+		t.Fatal("expected no inter-failure time")
+	}
+	if _, ok := tr.MeanDuration(); ok {
+		t.Fatal("expected no duration")
+	}
+}

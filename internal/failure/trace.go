@@ -1,0 +1,140 @@
+package failure
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// The paper's motivation (Figures 1–3) measures transient unavailability
+// over 83 shared machines for 24 hours at 0.25 s samples. That trace is
+// proprietary; this generator produces a synthetic cluster with the same
+// published statistics — over 75% of machines spike more often than once
+// per 60 s, about 70% of spikes last under 10 s and about 20% exceed 20 s —
+// so the CDF shapes of the figures can be regenerated.
+
+// TraceConfig parameterizes the synthetic cluster trace.
+type TraceConfig struct {
+	// Machines is the number of machines (the paper measures 83).
+	Machines int
+	// Duration is the virtual observation window (the paper uses 24 h).
+	Duration time.Duration
+	// SampleInterval is the virtual load-sampling period (0.25 s in the
+	// paper); spike boundaries are quantized to it.
+	SampleInterval time.Duration
+	// MedianGap is the median across machines of the mean idle gap between
+	// spikes; per-machine means are log-normal around it.
+	MedianGap time.Duration
+	// GapSigma is the log-normal sigma of per-machine mean gaps.
+	GapSigma float64
+	// MedianDuration is the median across machines of the per-machine
+	// median spike duration; per-spike durations are drawn log-normal
+	// around each machine's median.
+	MedianDuration time.Duration
+	// DurationSigma is the log-normal sigma of spike durations within one
+	// machine.
+	DurationSigma float64
+	// MachineDurationSigma is the log-normal sigma of the per-machine
+	// duration medians; the heavy cross-machine tail of Figure 3 (70% of
+	// machines under 10 s yet 20% above 20 s) needs it large.
+	MachineDurationSigma float64
+	// Seed makes the trace reproducible.
+	Seed int64
+}
+
+// DefaultTraceConfig reproduces the paper's published cluster statistics.
+func DefaultTraceConfig() TraceConfig {
+	return TraceConfig{
+		Machines:             83,
+		Duration:             24 * time.Hour,
+		SampleInterval:       250 * time.Millisecond,
+		MedianGap:            18 * time.Second,
+		GapSigma:             0.9,
+		MedianDuration:       1900 * time.Millisecond,
+		DurationSigma:        1.0,
+		MachineDurationSigma: 2.2,
+		Seed:                 1,
+	}
+}
+
+// MachineTrace is the spike history of one machine over the window.
+type MachineTrace struct {
+	// Spikes holds (start, end) offsets from the window start.
+	Spikes []SpikeOffsets
+}
+
+// SpikeOffsets is one spike as offsets into the observation window.
+type SpikeOffsets struct {
+	Start time.Duration
+	End   time.Duration
+}
+
+// MeanInterFailure returns the machine's average time between spike starts
+// (the x-axis of Figure 2). The second return is false if fewer than two
+// spikes occurred.
+func (t MachineTrace) MeanInterFailure() (time.Duration, bool) {
+	if len(t.Spikes) < 2 {
+		return 0, false
+	}
+	total := t.Spikes[len(t.Spikes)-1].Start - t.Spikes[0].Start
+	return total / time.Duration(len(t.Spikes)-1), true
+}
+
+// MeanDuration returns the machine's average spike duration (the x-axis of
+// Figure 3). The second return is false if no spikes occurred.
+func (t MachineTrace) MeanDuration() (time.Duration, bool) {
+	if len(t.Spikes) == 0 {
+		return 0, false
+	}
+	var total time.Duration
+	for _, s := range t.Spikes {
+		total += s.End - s.Start
+	}
+	return total / time.Duration(len(t.Spikes)), true
+}
+
+// GenerateTrace produces the synthetic cluster trace. It is pure
+// computation over virtual time — no clocks, instant at any window length.
+func GenerateTrace(cfg TraceConfig) []MachineTrace {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	traces := make([]MachineTrace, cfg.Machines)
+	for m := range traces {
+		machineDurSigma := cfg.MachineDurationSigma
+		if machineDurSigma == 0 {
+			machineDurSigma = 1.8
+		}
+		meanGap := logNormal(rng, float64(cfg.MedianGap), cfg.GapSigma)
+		meanDur := logNormal(rng, float64(cfg.MedianDuration), machineDurSigma)
+		var at time.Duration
+		for {
+			gap := time.Duration(rng.ExpFloat64() * meanGap)
+			dur := time.Duration(logNormal(rng, meanDur, cfg.DurationSigma))
+			at += quantize(gap, cfg.SampleInterval)
+			end := at + quantize(dur, cfg.SampleInterval)
+			if end >= cfg.Duration {
+				break
+			}
+			if end > at {
+				traces[m].Spikes = append(traces[m].Spikes, SpikeOffsets{Start: at, End: end})
+			}
+			at = end
+		}
+	}
+	return traces
+}
+
+// logNormal draws a log-normal variate with the given median and sigma.
+func logNormal(rng *rand.Rand, median, sigma float64) float64 {
+	return median * math.Exp(rng.NormFloat64()*sigma)
+}
+
+func quantize(d, step time.Duration) time.Duration {
+	if step <= 0 {
+		return d
+	}
+	q := (d / step) * step
+	if q < step {
+		q = step
+	}
+	return q
+}

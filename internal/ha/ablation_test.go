@@ -1,0 +1,271 @@
+package ha_test
+
+// Integration tests for the hybrid controller's ablation switches
+// (Section IV-B optimizations) and edge cases, driven through the pipeline
+// builder so the full wiring is exercised.
+
+import (
+	"testing"
+	"time"
+
+	"streamha/internal/cluster"
+	"streamha/internal/core"
+	"streamha/internal/ha"
+	"streamha/internal/queue"
+	"streamha/internal/subjob"
+)
+
+// stallAndRecover runs a single hard stall against a 2-subjob hybrid
+// pipeline with the given options and returns the pipeline for inspection.
+func stallAndRecover(t *testing.T, opts core.Options) (*cluster.Cluster, *ha.Pipeline) {
+	t.Helper()
+	cl := cluster.New(cluster.Config{Latency: 100 * time.Microsecond})
+	for _, id := range []string{"m-src", "m-sink", "p1", "p2", "s1", "s2"} {
+		cl.MustAddMachine(id)
+	}
+	p, err := ha.NewPipeline(ha.PipelineConfig{
+		Cluster:     cl,
+		JobID:       "job",
+		Source:      ha.SourceDef{Machine: "m-src", Rate: 1500},
+		SinkMachine: "m-sink",
+		Subjobs: []ha.SubjobDef{
+			{PEs: cheapPEs(2), Mode: ha.ModeHybrid, Primary: "p1", Secondary: "s1"},
+			{PEs: cheapPEs(2), Mode: ha.ModeHybrid, Primary: "p2", Secondary: "s2"},
+		},
+		Hybrid:   opts,
+		TrackIDs: true,
+	})
+	if err != nil {
+		t.Fatalf("NewPipeline: %v", err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		p.Stop()
+		cl.Close()
+	})
+
+	time.Sleep(400 * time.Millisecond)
+	cl.Machine("p1").CPU().SetBackgroundLoad(1)
+	time.Sleep(350 * time.Millisecond)
+	cl.Machine("p1").CPU().SetBackgroundLoad(0)
+	time.Sleep(500 * time.Millisecond)
+	p.Source().Stop()
+	time.Sleep(300 * time.Millisecond)
+	return cl, p
+}
+
+func requireRecovered(t *testing.T, p *ha.Pipeline) {
+	t.Helper()
+	g := p.Group(0)
+	if len(g.Hybrid.Switches()) == 0 {
+		t.Fatal("no switchover")
+	}
+	if len(g.Hybrid.Rollbacks()) == 0 {
+		t.Fatal("no rollback")
+	}
+	verifyExactlyOnce(t, p, 500)
+}
+
+func TestHybridAblationNoPreDeploy(t *testing.T) {
+	_, p := stallAndRecover(t, core.Options{NoPreDeploy: true})
+	requireRecovered(t, p)
+	// After rollback the on-demand copy is discarded: no standby runtime.
+	if sec := p.Group(0).Hybrid.SecondaryRuntime(); sec != nil {
+		t.Fatalf("on-demand copy not discarded after rollback: %v", sec.Node())
+	}
+}
+
+func TestHybridAblationNoEarlyConnection(t *testing.T) {
+	_, p := stallAndRecover(t, core.Options{NoEarlyConnection: true})
+	requireRecovered(t, p)
+}
+
+func TestHybridAblationNoReadState(t *testing.T) {
+	_, p := stallAndRecover(t, core.Options{NoReadState: true})
+	g := p.Group(0)
+	if len(g.Hybrid.Switches()) == 0 || len(g.Hybrid.Rollbacks()) == 0 {
+		t.Fatal("no switchover/rollback")
+	}
+	for _, rb := range g.Hybrid.Rollbacks() {
+		if rb.Adopted || rb.StateUnits != 0 {
+			t.Fatalf("read-state happened despite ablation: %+v", rb)
+		}
+	}
+	// Without the read-back the primary reprocesses its backlog; delivery
+	// must still be exactly-once.
+	verifyExactlyOnce(t, p, 500)
+}
+
+func TestHybridAblationDiskStore(t *testing.T) {
+	_, p := stallAndRecover(t, core.Options{NoPreDeploy: true, DiskStore: true})
+	requireRecovered(t, p)
+}
+
+// TestHybridSwitchoverDurationBoundedAcrossTriggers checks that the
+// switchover mechanics (resume + activation) stay in the fast range
+// regardless of the detection trigger; the trigger thresholds' detection
+// times themselves are measured by the Figure 7 experiment and
+// TestHeartbeatThreeMissSlowerThanOneMiss.
+func TestHybridSwitchoverDurationBoundedAcrossTriggers(t *testing.T) {
+	switchDur := func(opts core.Options) time.Duration {
+		_, p := stallAndRecover(t, opts)
+		sw := p.Group(0).Hybrid.Switches()
+		if len(sw) == 0 {
+			t.Fatal("no switchover")
+		}
+		return sw[0].ReadyAt.Sub(sw[0].DetectedAt)
+	}
+	one := switchDur(core.Options{MissThreshold: 1})
+	three := switchDur(core.Options{MissThreshold: 3})
+	for _, d := range []time.Duration{one, three} {
+		if d <= 0 || d > 200*time.Millisecond {
+			t.Fatalf("switchover duration out of range: %v", d)
+		}
+	}
+}
+
+func TestHybridRollbackAdoptsFresherStandbyState(t *testing.T) {
+	// A hard stall leaves the standby ahead of the primary, so the
+	// following rollback adopts its state. Host-jitter false alarms can
+	// interleave a flapped cycle whose rollback correctly declines
+	// adoption, so stall repeatedly until an adopted rollback is observed.
+	cl, p := stallAndRecover(t, core.Options{})
+	g := p.Group(0)
+	hasAdopted := func() bool {
+		for _, rb := range g.Hybrid.Rollbacks() {
+			if rb.Adopted {
+				if rb.StateUnits == 0 {
+					t.Fatal("adopted rollback carried no state")
+				}
+				return true
+			}
+		}
+		return false
+	}
+	for attempt := 0; attempt < 4 && !hasAdopted(); attempt++ {
+		cl.Machine("p1").CPU().SetBackgroundLoad(1)
+		time.Sleep(400 * time.Millisecond)
+		cl.Machine("p1").CPU().SetBackgroundLoad(0)
+		time.Sleep(500 * time.Millisecond)
+	}
+	if !hasAdopted() {
+		t.Fatalf("no rollback adopted the standby state after repeated stalls: %+v", g.Hybrid.Rollbacks())
+	}
+}
+
+func TestHybridPromotionWithoutSpareLeavesUnprotected(t *testing.T) {
+	cl := cluster.New(cluster.Config{Latency: 100 * time.Microsecond})
+	for _, id := range []string{"m-src", "m-sink", "p1", "s1"} {
+		cl.MustAddMachine(id)
+	}
+	p, err := ha.NewPipeline(ha.PipelineConfig{
+		Cluster:     cl,
+		JobID:       "job",
+		Source:      ha.SourceDef{Machine: "m-src", Rate: 1000},
+		SinkMachine: "m-sink",
+		Subjobs: []ha.SubjobDef{
+			{PEs: cheapPEs(1), Mode: ha.ModeHybrid, Primary: "p1", Secondary: "s1"}, // no Spare
+		},
+		Hybrid:   core.Options{FailStopAfter: 200 * time.Millisecond},
+		TrackIDs: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		p.Stop()
+		cl.Close()
+	}()
+
+	time.Sleep(300 * time.Millisecond)
+	cl.Machine("p1").Crash()
+	time.Sleep(800 * time.Millisecond)
+	p.Source().Stop()
+	time.Sleep(300 * time.Millisecond)
+
+	g := p.Group(0)
+	if len(g.Hybrid.Promotions()) == 0 {
+		t.Fatal("no promotion")
+	}
+	if got := g.Hybrid.PrimaryRuntime().Node(); string(got) != "s1" {
+		t.Fatalf("primary on %s", got)
+	}
+	if g.Hybrid.SecondaryRuntime() != nil {
+		t.Fatal("spare-less promotion still produced a standby")
+	}
+	verifyExactlyOnce(t, p, 200)
+}
+
+func TestHybridControllerStandaloneCreatesOwnStandby(t *testing.T) {
+	// Controller used without the pipeline builder: it must create and
+	// wire its own standby.
+	cl := cluster.New(cluster.Config{Latency: 100 * time.Microsecond})
+	defer cl.Close()
+	for _, id := range []string{"m-src", "m-sink", "p0", "s0"} {
+		cl.MustAddMachine(id)
+	}
+	clk := cl.Clock()
+	spec := subjob.Spec{
+		JobID: "solo", ID: "solo/sj",
+		InStreams: []string{"s0"},
+		Owners:    map[string]string{"s0": cluster.SourceOwner},
+		OutStream: "s1",
+		PEs:       cheapPEs(1),
+		BatchSize: 16,
+	}
+	pri, err := subjob.New(spec, cl.Machine("p0"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pri.Start()
+	defer pri.Stop()
+
+	src := cluster.NewSource(cluster.SourceConfig{Machine: cl.Machine("m-src"), Clock: clk, Stream: "s0", Rate: 1000})
+	sink := cluster.NewSink(cluster.SinkConfig{
+		Machine: cl.Machine("m-sink"), Clock: clk, ID: "solo/sink",
+		InStreams: []string{"s1"}, Owners: map[string]string{"s1": spec.ID},
+		TrackIDs: true,
+	})
+	src.Out().Subscribe("p0", subjob.DataStream(spec.ID, "s0"), true)
+	pri.Out().Subscribe("m-sink", subjob.DataStream("solo/sink", "s1"), true)
+	sink.Start()
+	defer sink.Stop()
+
+	ctl := core.NewController(core.ControllerConfig{
+		Spec:             spec,
+		Clock:            clk,
+		Primary:          pri,
+		SecondaryMachine: cl.Machine("s0"),
+		Wiring: core.Wiring{
+			UpstreamOutputs: func() []*queue.Output { return []*queue.Output{src.Out()} },
+			DownstreamTargets: func() []core.Target {
+				return []core.Target{{Node: "m-sink", Stream: subjob.DataStream("solo/sink", "s1"), Active: true}}
+			},
+		},
+	})
+	if err := ctl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	src.Start()
+	time.Sleep(300 * time.Millisecond)
+
+	sec := ctl.SecondaryRuntime()
+	if sec == nil {
+		t.Fatal("standalone controller did not create a standby")
+	}
+	if !sec.Suspended() {
+		t.Fatal("self-created standby not suspended")
+	}
+	// The standby's early connection must exist on the source queue.
+	if _, ok := src.Out().AckedBy(sec.Node()); !ok {
+		t.Fatal("self-created standby not early-connected upstream")
+	}
+	src.Stop()
+	ctl.Stop()
+	sec.Stop()
+}

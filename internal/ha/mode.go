@@ -1,0 +1,51 @@
+// Package ha assembles the four high-availability modes the paper
+// evaluates — NONE, active standby, passive standby and hybrid — and the
+// pipeline builder that deploys a chain job across cluster machines with a
+// per-subjob mode choice (Section V-A: each subjob in the same job can use
+// a different HA mode).
+package ha
+
+import "fmt"
+
+// Mode selects a subjob's high-availability scheme.
+type Mode int
+
+// The four HA modes of the paper's evaluation.
+const (
+	// ModeNone deploys a single copy; failures are endured.
+	ModeNone Mode = iota
+	// ModeActive runs two copies concurrently (active standby): roughly
+	// four times the traffic, near-zero recovery delay.
+	ModeActive
+	// ModePassive checkpoints a primary to a secondary machine and deploys
+	// a recovery copy on demand after three heartbeat misses.
+	ModePassive
+	// ModeHybrid pre-deploys a suspended secondary refreshed in memory and
+	// switches to active standby on the first heartbeat miss (the paper's
+	// contribution; implemented in internal/core).
+	ModeHybrid
+)
+
+var modeNames = map[Mode]string{
+	ModeNone:    "none",
+	ModeActive:  "active",
+	ModePassive: "passive",
+	ModeHybrid:  "hybrid",
+}
+
+func (m Mode) String() string {
+	if s, ok := modeNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// ParseMode converts a mode name to a Mode.
+func ParseMode(s string) (Mode, error) {
+	for m, name := range modeNames {
+		if name == s {
+			return m, nil
+		}
+	}
+	return ModeNone, fmt.Errorf("ha: unknown mode %q", s)
+}

@@ -1,0 +1,45 @@
+package ha
+
+import "testing"
+
+func TestModeString(t *testing.T) {
+	cases := map[Mode]string{
+		ModeNone:    "none",
+		ModeActive:  "active",
+		ModePassive: "passive",
+		ModeHybrid:  "hybrid",
+	}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Fatalf("%d.String() = %q", int(m), m.String())
+		}
+	}
+	if Mode(42).String() == "" {
+		t.Fatal("unknown mode must still stringify")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for _, name := range []string{"none", "active", "passive", "hybrid"} {
+		m, err := ParseMode(name)
+		if err != nil {
+			t.Fatalf("ParseMode(%q): %v", name, err)
+		}
+		if m.String() != name {
+			t.Fatalf("round trip %q -> %v", name, m)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestPSOptionsDefaults(t *testing.T) {
+	o := PSOptions{}.withDefaults()
+	if o.MissThreshold != 3 {
+		t.Fatalf("conventional PS threshold %d, want 3", o.MissThreshold)
+	}
+	if o.HeartbeatInterval <= 0 || o.CheckpointInterval <= 0 || o.DeployCost <= 0 {
+		t.Fatal("defaults missing")
+	}
+}

@@ -1,0 +1,430 @@
+package ha
+
+import (
+	"fmt"
+	"time"
+
+	"streamha/internal/checkpoint"
+	"streamha/internal/cluster"
+	"streamha/internal/core"
+	"streamha/internal/queue"
+	"streamha/internal/subjob"
+)
+
+// SubjobDef places one subjob of a chain job and selects its HA mode.
+type SubjobDef struct {
+	// ID names the subjob; empty selects "sj<i>".
+	ID string
+	// PEs is the subjob's pipeline.
+	PEs []subjob.PESpec
+	// Mode is the HA scheme.
+	Mode Mode
+	// Primary is the machine hosting the primary copy.
+	Primary string
+	// Secondary is the machine hosting the standby side (AS second copy,
+	// PS store, hybrid standby). Required unless Mode is ModeNone.
+	Secondary string
+	// Spare optionally hosts the hybrid's replacement standby after a
+	// fail-stop promotion.
+	Spare string
+	// BatchSize overrides the per-PE batch size.
+	BatchSize int
+}
+
+// SourceDef places and shapes the job's source.
+type SourceDef struct {
+	Machine     string
+	Rate        float64
+	Tick        time.Duration
+	BurstOn     time.Duration
+	BurstOff    time.Duration
+	BurstFactor float64
+}
+
+// PipelineConfig deploys a chain job (the paper's 8-PE / 4-subjob
+// experimental topology, generalized).
+type PipelineConfig struct {
+	// Cluster supplies machines, network and clock.
+	Cluster *cluster.Cluster
+	// JobID names the job; stream and subjob names derive from it.
+	JobID string
+	// Source feeds the first subjob.
+	Source SourceDef
+	// SinkMachine hosts the measuring sink.
+	SinkMachine string
+	// Subjobs is the chain, upstream to downstream.
+	Subjobs []SubjobDef
+	// Hybrid tunes hybrid-mode subjobs (intervals, costs, ablations).
+	Hybrid core.Options
+	// PS tunes passive-standby subjobs.
+	PS PSOptions
+	// AckInterval drives the ackers of NONE/AS copies and the sink
+	// (default: the hybrid checkpoint interval, seeding the sweep).
+	AckInterval time.Duration
+	// TrackIDs makes the sink retain per-ID delivery counts for
+	// exactly-once verification in tests.
+	TrackIDs bool
+}
+
+// Group is one deployed subjob with its HA apparatus.
+type Group struct {
+	Def  SubjobDef
+	Spec subjob.Spec
+	Mode Mode
+
+	primary     *subjob.Runtime // initial primary (PS/hybrid may migrate; see Live*)
+	asSecondary *subjob.Runtime // second copy under ModeActive
+	hybridSec   *subjob.Runtime // pre-deployed standby under ModeHybrid
+	ackers      []*checkpoint.Acker
+
+	// PS is the passive-standby controller (ModePassive only).
+	PS *PS
+	// Hybrid is the hybrid controller (ModeHybrid only).
+	Hybrid *core.Controller
+}
+
+// LiveOutputs returns the output queues of every live copy of the group.
+func (g *Group) LiveOutputs() []*queue.Output {
+	switch g.Mode {
+	case ModeActive:
+		return []*queue.Output{g.primary.Out(), g.asSecondary.Out()}
+	case ModePassive:
+		if g.PS != nil {
+			return []*queue.Output{g.PS.ActiveRuntime().Out()}
+		}
+		return []*queue.Output{g.primary.Out()}
+	case ModeHybrid:
+		if g.Hybrid != nil {
+			outs := []*queue.Output{g.Hybrid.PrimaryRuntime().Out()}
+			if sec := g.Hybrid.SecondaryRuntime(); sec != nil {
+				outs = append(outs, sec.Out())
+			}
+			return outs
+		}
+		outs := []*queue.Output{g.primary.Out()}
+		if g.hybridSec != nil {
+			outs = append(outs, g.hybridSec.Out())
+		}
+		return outs
+	default:
+		return []*queue.Output{g.primary.Out()}
+	}
+}
+
+// ConsumerTargets returns every copy of the group as a consumer of its
+// input stream, with the flag saying whether data should flow to it now.
+func (g *Group) ConsumerTargets(logical string) []core.Target {
+	stream := subjob.DataStream(g.Spec.ID, logical)
+	switch g.Mode {
+	case ModeActive:
+		return []core.Target{
+			{Node: g.primary.Node(), Stream: stream, Active: true},
+			{Node: g.asSecondary.Node(), Stream: stream, Active: true},
+		}
+	case ModePassive:
+		rt := g.primary
+		if g.PS != nil {
+			rt = g.PS.ActiveRuntime()
+		}
+		return []core.Target{{Node: rt.Node(), Stream: stream, Active: true}}
+	case ModeHybrid:
+		pri, sec, active := g.primary, g.hybridSec, false
+		if g.Hybrid != nil {
+			pri = g.Hybrid.PrimaryRuntime()
+			sec = g.Hybrid.SecondaryRuntime()
+			active = g.Hybrid.Active()
+		}
+		out := []core.Target{{Node: pri.Node(), Stream: stream, Active: true}}
+		if sec != nil {
+			out = append(out, core.Target{Node: sec.Node(), Stream: stream, Active: active})
+		}
+		return out
+	default:
+		return []core.Target{{Node: g.primary.Node(), Stream: stream, Active: true}}
+	}
+}
+
+// PrimaryRuntime returns the group's current primary copy.
+func (g *Group) PrimaryRuntime() *subjob.Runtime {
+	switch {
+	case g.Mode == ModePassive && g.PS != nil:
+		return g.PS.ActiveRuntime()
+	case g.Mode == ModeHybrid && g.Hybrid != nil:
+		return g.Hybrid.PrimaryRuntime()
+	default:
+		return g.primary
+	}
+}
+
+// SecondaryRuntime returns the group's standby copy, or nil (AS returns
+// its second copy).
+func (g *Group) SecondaryRuntime() *subjob.Runtime {
+	switch g.Mode {
+	case ModeActive:
+		return g.asSecondary
+	case ModeHybrid:
+		if g.Hybrid != nil {
+			return g.Hybrid.SecondaryRuntime()
+		}
+		return g.hybridSec
+	default:
+		return nil
+	}
+}
+
+// Pipeline is a deployed chain job.
+type Pipeline struct {
+	cfg     PipelineConfig
+	streams []string
+	source  *cluster.Source
+	sink    *cluster.Sink
+	groups  []*Group
+}
+
+// NewPipeline builds and wires the job; call Start to begin processing.
+func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
+	if len(cfg.Subjobs) == 0 {
+		return nil, fmt.Errorf("ha: pipeline needs at least one subjob")
+	}
+	if cfg.AckInterval <= 0 {
+		if cfg.Hybrid.CheckpointInterval > 0 {
+			cfg.AckInterval = cfg.Hybrid.CheckpointInterval
+		} else {
+			cfg.AckInterval = 5 * time.Millisecond
+		}
+	}
+	p := &Pipeline{cfg: cfg}
+	cl := cfg.Cluster
+
+	// Stream names: s0 from the source, s<i+1> out of subjob i.
+	p.streams = make([]string, len(cfg.Subjobs)+1)
+	for i := range p.streams {
+		p.streams[i] = fmt.Sprintf("%s/s%d", cfg.JobID, i)
+	}
+
+	// Source.
+	srcM := cl.Machine(cfg.Source.Machine)
+	if srcM == nil {
+		return nil, fmt.Errorf("ha: unknown source machine %q", cfg.Source.Machine)
+	}
+	p.source = cluster.NewSource(cluster.SourceConfig{
+		Machine:     srcM,
+		Clock:       cl.Clock(),
+		Stream:      p.streams[0],
+		Rate:        cfg.Source.Rate,
+		Tick:        cfg.Source.Tick,
+		BurstOn:     cfg.Source.BurstOn,
+		BurstOff:    cfg.Source.BurstOff,
+		BurstFactor: cfg.Source.BurstFactor,
+	})
+
+	// Copies (phase A): create every runtime before any wiring so that
+	// standby-to-standby early connections can be created uniformly.
+	for i, def := range cfg.Subjobs {
+		g, err := p.buildGroup(i, def)
+		if err != nil {
+			return nil, err
+		}
+		p.groups = append(p.groups, g)
+	}
+
+	// Sink.
+	sinkM := cl.Machine(cfg.SinkMachine)
+	if sinkM == nil {
+		return nil, fmt.Errorf("ha: unknown sink machine %q", cfg.SinkMachine)
+	}
+	last := p.streams[len(p.streams)-1]
+	p.sink = cluster.NewSink(cluster.SinkConfig{
+		Machine:     sinkM,
+		Clock:       cl.Clock(),
+		ID:          cfg.JobID + "/sink",
+		InStreams:   []string{last},
+		Owners:      map[string]string{last: p.groups[len(p.groups)-1].Spec.ID},
+		AckInterval: cfg.AckInterval,
+		TrackIDs:    cfg.TrackIDs,
+	})
+
+	// Wiring (phase B): subscribe every consumer copy of link i to every
+	// producer copy of link i, with activity per the consumer's HA state.
+	for i := range p.groups {
+		for _, out := range p.producerOutputs(i) {
+			for _, t := range p.groups[i].ConsumerTargets(p.streams[i]) {
+				out.Subscribe(t.Node, t.Stream, t.Active)
+			}
+		}
+	}
+	for _, out := range p.producerOutputs(len(p.groups)) {
+		out.Subscribe(p.sink.Node(), subjob.DataStream(p.sink.ID(), last), true)
+	}
+	return p, nil
+}
+
+func (p *Pipeline) buildGroup(i int, def SubjobDef) (*Group, error) {
+	cl := p.cfg.Cluster
+	if def.ID == "" {
+		def.ID = fmt.Sprintf("sj%d", i)
+	}
+	owner := cluster.SourceOwner
+	if i > 0 {
+		owner = p.cfg.JobID + "/" + p.cfg.Subjobs[i-1].ID
+		if p.cfg.Subjobs[i-1].ID == "" {
+			owner = fmt.Sprintf("%s/sj%d", p.cfg.JobID, i-1)
+		}
+	}
+	spec := subjob.Spec{
+		JobID:     p.cfg.JobID,
+		ID:        p.cfg.JobID + "/" + def.ID,
+		InStreams: []string{p.streams[i]},
+		Owners:    map[string]string{p.streams[i]: owner},
+		OutStream: p.streams[i+1],
+		PEs:       def.PEs,
+		BatchSize: def.BatchSize,
+	}
+	priM := cl.Machine(def.Primary)
+	if priM == nil {
+		return nil, fmt.Errorf("ha: subjob %s: unknown primary machine %q", def.ID, def.Primary)
+	}
+	primary, err := subjob.New(spec, priM, false)
+	if err != nil {
+		return nil, err
+	}
+	primary.Start()
+	g := &Group{Def: def, Spec: spec, Mode: def.Mode, primary: primary}
+
+	needSecondary := def.Mode == ModeActive ||
+		(def.Mode == ModeHybrid && !p.cfg.Hybrid.NoPreDeploy)
+	if def.Mode != ModeNone && cl.Machine(def.Secondary) == nil {
+		return nil, fmt.Errorf("ha: subjob %s: unknown secondary machine %q", def.ID, def.Secondary)
+	}
+	if needSecondary {
+		secM := cl.Machine(def.Secondary)
+		suspended := def.Mode == ModeHybrid
+		sec, err := subjob.New(spec, secM, suspended)
+		if err != nil {
+			return nil, err
+		}
+		sec.Start()
+		if def.Mode == ModeActive {
+			g.asSecondary = sec
+		} else {
+			g.hybridSec = sec
+		}
+	}
+	return g, nil
+}
+
+// producerOutputs returns the output queues feeding stream index i
+// (i == len(groups) means the sink's input stream).
+func (p *Pipeline) producerOutputs(i int) []*queue.Output {
+	if i == 0 {
+		return []*queue.Output{p.source.Out()}
+	}
+	return p.groups[i-1].LiveOutputs()
+}
+
+// wiringFor builds the dynamic wiring closures for group i's controller.
+func (p *Pipeline) wiringFor(i int) core.Wiring {
+	return core.Wiring{
+		UpstreamOutputs: func() []*queue.Output { return p.producerOutputs(i) },
+		DownstreamTargets: func() []core.Target {
+			if i == len(p.groups)-1 {
+				last := p.streams[len(p.streams)-1]
+				return []core.Target{{
+					Node:   p.sink.Node(),
+					Stream: subjob.DataStream(p.sink.ID(), last),
+					Active: true,
+				}}
+			}
+			return p.groups[i+1].ConsumerTargets(p.streams[i+1])
+		},
+	}
+}
+
+// Start launches sink, HA controllers and ackers, then the source — in
+// that order, so no data is published before its consumers are wired.
+func (p *Pipeline) Start() error {
+	cl := p.cfg.Cluster
+	p.sink.Start()
+	for i, g := range p.groups {
+		switch g.Mode {
+		case ModeNone:
+			g.ackers = append(g.ackers, checkpoint.NewAcker(g.primary, cl.Clock(), p.cfg.AckInterval))
+		case ModeActive:
+			g.ackers = append(g.ackers,
+				checkpoint.NewAcker(g.primary, cl.Clock(), p.cfg.AckInterval),
+				checkpoint.NewAcker(g.asSecondary, cl.Clock(), p.cfg.AckInterval))
+		case ModePassive:
+			g.PS = NewPS(PSConfig{
+				Spec:             g.Spec,
+				Clock:            cl.Clock(),
+				Primary:          g.primary,
+				SecondaryMachine: cl.Machine(g.Def.Secondary),
+				Wiring:           p.wiringFor(i),
+				Options:          p.cfg.PS,
+			})
+			g.PS.Start()
+		case ModeHybrid:
+			var spare = cl.Machine(g.Def.Spare) // nil if unset
+			g.Hybrid = core.NewController(core.ControllerConfig{
+				Spec:             g.Spec,
+				Clock:            cl.Clock(),
+				Primary:          g.primary,
+				Secondary:        g.hybridSec,
+				SecondaryMachine: cl.Machine(g.Def.Secondary),
+				SpareMachine:     spare,
+				Wiring:           p.wiringFor(i),
+				Options:          p.cfg.Hybrid,
+			})
+			if err := g.Hybrid.Start(); err != nil {
+				return err
+			}
+		}
+		for _, a := range g.ackers {
+			a.Start()
+		}
+	}
+	p.source.Start()
+	return nil
+}
+
+// Stop halts everything: source first, then controllers, copies and sink.
+func (p *Pipeline) Stop() {
+	p.source.Stop()
+	for _, g := range p.groups {
+		for _, a := range g.ackers {
+			a.Stop()
+		}
+		if g.PS != nil {
+			g.PS.Stop()
+			g.PS.ActiveRuntime().Stop()
+		}
+		if g.Hybrid != nil {
+			g.Hybrid.Stop()
+			g.Hybrid.PrimaryRuntime().Stop()
+		} else if g.hybridSec != nil {
+			g.hybridSec.Stop()
+		}
+		if g.Mode != ModePassive && g.Mode != ModeHybrid {
+			g.primary.Stop()
+		}
+		if g.asSecondary != nil {
+			g.asSecondary.Stop()
+		}
+	}
+	p.sink.Stop()
+}
+
+// Source returns the job's source.
+func (p *Pipeline) Source() *cluster.Source { return p.source }
+
+// Sink returns the job's sink.
+func (p *Pipeline) Sink() *cluster.Sink { return p.sink }
+
+// Groups returns the deployed subjobs in chain order.
+func (p *Pipeline) Groups() []*Group { return p.groups }
+
+// Group returns the i-th subjob group.
+func (p *Pipeline) Group(i int) *Group { return p.groups[i] }
+
+// Streams returns the logical stream names, source stream first.
+func (p *Pipeline) Streams() []string { return append([]string(nil), p.streams...) }

@@ -1,0 +1,242 @@
+package ha_test
+
+import (
+	"testing"
+	"time"
+
+	"streamha/internal/cluster"
+	"streamha/internal/core"
+	"streamha/internal/ha"
+	"streamha/internal/pe"
+	"streamha/internal/subjob"
+	"streamha/internal/transport"
+)
+
+func cheapPEs(n int) []subjob.PESpec {
+	pes := make([]subjob.PESpec, n)
+	for i := range pes {
+		pes[i] = subjob.PESpec{
+			Name:     "pe",
+			NewLogic: func() pe.Logic { return &pe.CounterLogic{Pad: 5} },
+			Cost:     10 * time.Microsecond,
+		}
+	}
+	return pes
+}
+
+func TestPipelineRejectsUnknownMachines(t *testing.T) {
+	cl := cluster.New(cluster.Config{})
+	defer cl.Close()
+	cl.MustAddMachine("src")
+	cl.MustAddMachine("sink")
+	cl.MustAddMachine("p0")
+
+	base := ha.PipelineConfig{
+		Cluster:     cl,
+		JobID:       "j",
+		Source:      ha.SourceDef{Machine: "src", Rate: 100},
+		SinkMachine: "sink",
+	}
+
+	cfg := base
+	cfg.Subjobs = []ha.SubjobDef{{PEs: cheapPEs(1), Primary: "ghost"}}
+	if _, err := ha.NewPipeline(cfg); err == nil {
+		t.Fatal("unknown primary accepted")
+	}
+
+	cfg = base
+	cfg.Subjobs = []ha.SubjobDef{{PEs: cheapPEs(1), Mode: ha.ModeHybrid, Primary: "p0", Secondary: "ghost"}}
+	if _, err := ha.NewPipeline(cfg); err == nil {
+		t.Fatal("unknown secondary accepted")
+	}
+
+	cfg = base
+	cfg.Source.Machine = "ghost"
+	cfg.Subjobs = []ha.SubjobDef{{PEs: cheapPEs(1), Primary: "p0"}}
+	if _, err := ha.NewPipeline(cfg); err == nil {
+		t.Fatal("unknown source machine accepted")
+	}
+
+	cfg = base
+	cfg.SinkMachine = "ghost"
+	cfg.Subjobs = []ha.SubjobDef{{PEs: cheapPEs(1), Primary: "p0"}}
+	if _, err := ha.NewPipeline(cfg); err == nil {
+		t.Fatal("unknown sink machine accepted")
+	}
+
+	cfg = base
+	cfg.Subjobs = nil
+	if _, err := ha.NewPipeline(cfg); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+}
+
+func TestActiveStandbyTrafficMultiplier(t *testing.T) {
+	run := func(mode ha.Mode) int64 {
+		cl := cluster.New(cluster.Config{})
+		defer cl.Close()
+		for _, id := range []string{"src", "sink", "p0", "p1", "s0", "s1"} {
+			cl.MustAddMachine(id)
+		}
+		p, err := ha.NewPipeline(ha.PipelineConfig{
+			Cluster:     cl,
+			JobID:       "j",
+			Source:      ha.SourceDef{Machine: "src", Rate: 2000},
+			SinkMachine: "sink",
+			Subjobs: []ha.SubjobDef{
+				{PEs: cheapPEs(1), Mode: mode, Primary: "p0", Secondary: "s0"},
+				{PEs: cheapPEs(1), Mode: mode, Primary: "p1", Secondary: "s1"},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer p.Stop()
+		time.Sleep(200 * time.Millisecond)
+		before := cl.Stats()
+		time.Sleep(600 * time.Millisecond)
+		return cl.Stats().Sub(before).DataElements()
+	}
+
+	none := run(ha.ModeNone)
+	as := run(ha.ModeActive)
+	// Chain of 2 subjobs: src->sj0 (2x), sj0->sj1 (4x), sj1->sink (2x):
+	// expected AS multiplier (2+4+2)/3 ≈ 2.7.
+	ratio := float64(as) / float64(none)
+	if ratio < 2.0 || ratio > 3.6 {
+		t.Fatalf("AS data traffic ratio %.2f, want ~2.7", ratio)
+	}
+}
+
+func TestHybridMultiplexedSecondariesShareOneMachine(t *testing.T) {
+	cl := cluster.New(cluster.Config{})
+	defer cl.Close()
+	for _, id := range []string{"src", "sink", "p0", "p1", "p2", "shared"} {
+		cl.MustAddMachine(id)
+	}
+	p, err := ha.NewPipeline(ha.PipelineConfig{
+		Cluster:     cl,
+		JobID:       "j",
+		Source:      ha.SourceDef{Machine: "src", Rate: 1000},
+		SinkMachine: "sink",
+		Subjobs: []ha.SubjobDef{
+			{PEs: cheapPEs(1), Mode: ha.ModeHybrid, Primary: "p0", Secondary: "shared"},
+			{PEs: cheapPEs(1), Mode: ha.ModeHybrid, Primary: "p1", Secondary: "shared"},
+			{PEs: cheapPEs(1), Mode: ha.ModeHybrid, Primary: "p2", Secondary: "shared"},
+		},
+		TrackIDs: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	time.Sleep(400 * time.Millisecond)
+
+	for i, g := range p.Groups() {
+		sec := g.SecondaryRuntime()
+		if sec == nil || string(sec.Node()) != "shared" {
+			t.Fatalf("group %d standby not on the shared machine", i)
+		}
+		if !sec.Suspended() {
+			t.Fatalf("group %d standby not suspended", i)
+		}
+	}
+
+	// Stall one primary: only its standby activates; the others stay
+	// suspended on the shared machine.
+	cl.Machine("p1").CPU().SetBackgroundLoad(1)
+	time.Sleep(300 * time.Millisecond)
+	cl.Machine("p1").CPU().SetBackgroundLoad(0)
+	time.Sleep(400 * time.Millisecond)
+	if len(p.Group(1).Hybrid.Switches()) == 0 {
+		t.Fatal("stalled group never switched")
+	}
+
+	p.Source().Stop()
+	time.Sleep(300 * time.Millisecond)
+	for id, n := range p.Sink().IDCounts() {
+		if n != 1 {
+			t.Fatalf("element %d delivered %d times", id, n)
+		}
+	}
+}
+
+func TestGroupAccessors(t *testing.T) {
+	cl := cluster.New(cluster.Config{})
+	defer cl.Close()
+	for _, id := range []string{"src", "sink", "p0", "s0"} {
+		cl.MustAddMachine(id)
+	}
+	p, err := ha.NewPipeline(ha.PipelineConfig{
+		Cluster:     cl,
+		JobID:       "j",
+		Source:      ha.SourceDef{Machine: "src", Rate: 100},
+		SinkMachine: "sink",
+		Subjobs:     []ha.SubjobDef{{PEs: cheapPEs(1), Mode: ha.ModeActive, Primary: "p0", Secondary: "s0"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	g := p.Group(0)
+	if g.PrimaryRuntime() == nil || g.SecondaryRuntime() == nil {
+		t.Fatal("AS group accessors nil")
+	}
+	if len(g.LiveOutputs()) != 2 {
+		t.Fatalf("AS live outputs %d", len(g.LiveOutputs()))
+	}
+	targets := g.ConsumerTargets(p.Streams()[0])
+	if len(targets) != 2 || !targets[0].Active || !targets[1].Active {
+		t.Fatalf("AS consumer targets %+v", targets)
+	}
+	if len(p.Streams()) != 2 {
+		t.Fatalf("streams %v", p.Streams())
+	}
+	if p.Groups()[0] != g {
+		t.Fatal("Groups/Group disagree")
+	}
+}
+
+func TestHybridSecondaryEarlyConnectionsExist(t *testing.T) {
+	cl := cluster.New(cluster.Config{})
+	defer cl.Close()
+	for _, id := range []string{"src", "sink", "p0", "s0"} {
+		cl.MustAddMachine(id)
+	}
+	p, err := ha.NewPipeline(ha.PipelineConfig{
+		Cluster:     cl,
+		JobID:       "j",
+		Source:      ha.SourceDef{Machine: "src", Rate: 500},
+		SinkMachine: "sink",
+		Subjobs:     []ha.SubjobDef{{PEs: cheapPEs(1), Mode: ha.ModeHybrid, Primary: "p0", Secondary: "s0"}},
+		Hybrid:      core.Options{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	time.Sleep(200 * time.Millisecond)
+
+	// The source's output queue has an inactive subscription for the
+	// standby ("early connection"): data flows only to the primary.
+	if _, ok := p.Source().Out().AckedBy(transport.NodeID("s0")); !ok {
+		t.Fatal("standby early connection missing on the source output queue")
+	}
+	sec := p.Group(0).SecondaryRuntime()
+	if sec.PEs()[0].Processed() != 0 {
+		t.Fatal("suspended standby processed data through an inactive connection")
+	}
+}

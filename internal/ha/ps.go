@@ -1,0 +1,294 @@
+package ha
+
+import (
+	"sync"
+	"time"
+
+	"streamha/internal/checkpoint"
+	"streamha/internal/clock"
+	"streamha/internal/core"
+	"streamha/internal/detect"
+	"streamha/internal/machine"
+	"streamha/internal/subjob"
+)
+
+// PSOptions tunes conventional passive standby.
+type PSOptions struct {
+	// HeartbeatInterval is the detector's ping period (default 20 ms).
+	HeartbeatInterval time.Duration
+	// MissThreshold is the consecutive misses before migration; the
+	// conventional value is 3.
+	MissThreshold int
+	// CheckpointInterval drives the sweeping checkpoint manager
+	// (default 10 ms).
+	CheckpointInterval time.Duration
+	// CheckpointCosts models checkpoint CPU cost.
+	CheckpointCosts checkpoint.Costs
+	// DeployCost is the CPU work of deploying the recovery copy on demand
+	// (default 20 ms, standing in for the paper's ~200 ms redeployment).
+	DeployCost time.Duration
+	// ConnectCost is the CPU work per connection established during
+	// recovery (default 2 ms).
+	ConnectCost time.Duration
+	// StoreBackend selects the checkpoint store; conventional passive
+	// standby persists to (simulated) disk.
+	StoreBackend checkpoint.StoreBackend
+}
+
+func (o PSOptions) withDefaults() PSOptions {
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 20 * time.Millisecond
+	}
+	if o.MissThreshold <= 0 {
+		o.MissThreshold = 3
+	}
+	if o.CheckpointInterval <= 0 {
+		o.CheckpointInterval = 10 * time.Millisecond
+	}
+	if o.DeployCost <= 0 {
+		o.DeployCost = 20 * time.Millisecond
+	}
+	if o.ConnectCost <= 0 {
+		o.ConnectCost = 2 * time.Millisecond
+	}
+	return o
+}
+
+// MigrationEvent records one passive-standby recovery: detection to the
+// recovered copy running and connected on the (former) secondary machine.
+type MigrationEvent struct {
+	DetectedAt time.Time
+	ReadyAt    time.Time
+}
+
+// PSConfig assembles a passive-standby controller for one subjob.
+type PSConfig struct {
+	Spec subjob.Spec
+	// Clock is the time source.
+	Clock clock.Clock
+	// Primary is the running primary copy.
+	Primary *subjob.Runtime
+	// SecondaryMachine receives checkpoints and hosts the recovery copy.
+	SecondaryMachine *machine.Machine
+	// Wiring connects the subjob to its neighbors (shared with the hybrid
+	// controller).
+	Wiring core.Wiring
+	// Options tunes the method.
+	Options PSOptions
+}
+
+// PS implements conventional passive standby. Unlike the hybrid method it
+// deploys the recovery copy on demand after three heartbeat misses, pays
+// connection setup on the critical path, and never rolls back: after a
+// migration the former secondary is the new primary and the former primary
+// machine becomes the new secondary — so under transient failures the
+// subjob keeps experiencing spikes on whichever machine it lands on, as
+// the paper observes in Figure 4.
+type PS struct {
+	cfg  PSConfig
+	opts PSOptions
+	clk  clock.Clock
+
+	mu         sync.Mutex
+	active     *subjob.Runtime
+	standbyM   *machine.Machine
+	store      *checkpoint.Store
+	cm         *checkpoint.Sweeping
+	det        *detect.Heartbeat
+	migrations []MigrationEvent
+	started    bool
+
+	events chan time.Time
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// NewPS creates a passive-standby controller; call Start once the primary
+// copy is running.
+func NewPS(cfg PSConfig) *PS {
+	return &PS{
+		cfg:      cfg,
+		opts:     cfg.Options.withDefaults(),
+		clk:      cfg.Clock,
+		active:   cfg.Primary,
+		standbyM: cfg.SecondaryMachine,
+		events:   make(chan time.Time, 16),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the store, checkpoint manager, detector and control loop.
+func (p *PS) Start() {
+	p.mu.Lock()
+	if p.started {
+		p.mu.Unlock()
+		return
+	}
+	p.started = true
+	p.mu.Unlock()
+
+	p.armLocked()
+	go p.run()
+}
+
+// armLocked (re)creates the store, checkpoint manager and detector for the
+// current primary/standby pair.
+func (p *PS) armLocked() {
+	p.mu.Lock()
+	active, standbyM := p.active, p.standbyM
+	p.mu.Unlock()
+
+	store := checkpoint.NewStore(standbyM, p.cfg.Spec.ID, p.opts.StoreBackend, 0)
+	cm := checkpoint.NewSweeping(checkpoint.Config{
+		Runtime:   active,
+		Clock:     p.clk,
+		Interval:  p.opts.CheckpointInterval,
+		StoreNode: standbyM.ID(),
+		Costs:     p.opts.CheckpointCosts,
+	})
+	det := detect.NewHeartbeat(detect.HeartbeatConfig{
+		Monitor:       standbyM,
+		Clock:         p.clk,
+		Target:        active.Machine().ID(),
+		Session:       p.cfg.Spec.ID + "/" + string(standbyM.ID()),
+		Interval:      p.opts.HeartbeatInterval,
+		MissThreshold: p.opts.MissThreshold,
+		OnFailure: func(at time.Time) {
+			select {
+			case p.events <- at:
+			case <-p.stop:
+			}
+		},
+	})
+	p.mu.Lock()
+	p.store = store
+	p.cm = cm
+	p.det = det
+	p.mu.Unlock()
+	cm.Start()
+	det.Start()
+}
+
+// Stop halts the controller and its components.
+func (p *PS) Stop() {
+	p.mu.Lock()
+	if !p.started {
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	<-p.done
+	p.mu.Lock()
+	det, cm, store := p.det, p.cm, p.store
+	p.mu.Unlock()
+	if det != nil {
+		det.Stop()
+	}
+	if cm != nil {
+		cm.Stop()
+	}
+	if store != nil {
+		store.Close()
+	}
+}
+
+// ActiveRuntime returns the copy currently serving as primary.
+func (p *PS) ActiveRuntime() *subjob.Runtime {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.active
+}
+
+// Migrations returns the recorded migration events.
+func (p *PS) Migrations() []MigrationEvent {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]MigrationEvent(nil), p.migrations...)
+}
+
+func (p *PS) run() {
+	defer close(p.done)
+	for {
+		select {
+		case <-p.stop:
+			return
+		case at := <-p.events:
+			p.migrate(at)
+		}
+	}
+}
+
+// migrate performs the passive-standby recovery: deploy a copy from the
+// last checkpoint on the secondary machine, reconnect it upstream and
+// downstream (retransmitting unacknowledged data), then swap roles so the
+// former primary machine becomes the new secondary.
+func (p *PS) migrate(detectedAt time.Time) {
+	p.mu.Lock()
+	old := p.active
+	target := p.standbyM
+	store := p.store
+	oldCM := p.cm
+	oldDet := p.det
+	p.mu.Unlock()
+
+	if target.Crashed() {
+		// No live machine to recover on; selection of an alternative
+		// secondary is outside the paper's scope.
+		return
+	}
+
+	// Job redeployment: the dominant non-detection cost of PS recovery.
+	target.CPU().Execute(p.opts.DeployCost)
+	rt, err := subjob.New(p.cfg.Spec, target, false)
+	if err != nil {
+		return
+	}
+	if snap, ok := store.Latest(); ok {
+		if err := rt.Restore(snap); err != nil {
+			return
+		}
+	}
+	rt.Start()
+
+	// Connection establishment, on the critical path for PS.
+	ups := p.cfg.Wiring.UpstreamOutputs()
+	downs := p.cfg.Wiring.DownstreamTargets()
+	target.CPU().Execute(p.opts.ConnectCost * time.Duration(len(ups)+len(downs)))
+	for _, up := range ups {
+		// Rebinding the subscription retransmits everything unacknowledged,
+		// which the recovered copy reprocesses.
+		up.ResetSubscriber(old.Node(), rt.Node(), subjob.DataStream(p.cfg.Spec.ID, up.StreamID))
+	}
+	for _, t := range downs {
+		rt.Out().Subscribe(t.Node, t.Stream, t.Active)
+	}
+	rt.Out().RetransmitAll()
+
+	readyAt := p.clk.Now()
+
+	// Tear down the old stack without blocking (its machine may be
+	// unresponsive); the old copy may limp along for a while, and the
+	// downstream deduplicates whatever it still emits.
+	go func() {
+		oldDet.Stop()
+		oldCM.Stop()
+		old.Stop()
+	}()
+	store.Close()
+
+	p.mu.Lock()
+	p.active = rt
+	p.standbyM = old.Machine()
+	p.migrations = append(p.migrations, MigrationEvent{DetectedAt: detectedAt, ReadyAt: readyAt})
+	p.mu.Unlock()
+
+	// Re-protect: new store on the former primary machine, new checkpoint
+	// manager on the new primary, new detector monitoring it.
+	p.armLocked()
+}

@@ -1,0 +1,481 @@
+package ha
+
+import (
+	"fmt"
+	"time"
+
+	"streamha/internal/checkpoint"
+	"streamha/internal/cluster"
+	"streamha/internal/core"
+	"streamha/internal/queue"
+	"streamha/internal/subjob"
+)
+
+// The paper's evaluation uses chain jobs and names tree-shaped topologies
+// as future work. Topology generalizes the chain Pipeline to arbitrary
+// DAGs: any subjob may consume the outputs of several producers (fan-in)
+// and feed several consumers (fan-out), each with its own HA mode. The
+// underlying queue protocol already supports both — an output queue trims
+// only when every consumer acknowledged, and an input queue merges and
+// deduplicates per upstream stream — so the builder's job is wiring and
+// controller construction.
+
+// TopologySource declares one source node of a DAG job.
+type TopologySource struct {
+	// Name identifies the source within the job (e.g. "ticks").
+	Name string
+	// Machine hosts it.
+	Machine string
+	// Rate is the emission rate in elements per second.
+	Rate float64
+	// Burst shaping, as in SourceDef.
+	BurstOn, BurstOff time.Duration
+	BurstFactor       float64
+}
+
+// TopologySubjob declares one subjob node of a DAG job.
+type TopologySubjob struct {
+	// ID names the subjob within the job.
+	ID string
+	// Inputs lists the producers feeding it: subjob IDs or source names.
+	Inputs []string
+	// PEs is the subjob's pipeline.
+	PEs []subjob.PESpec
+	// Mode, Primary, Secondary, Spare as in SubjobDef.
+	Mode      Mode
+	Primary   string
+	Secondary string
+	Spare     string
+	// BatchSize overrides the per-PE batch size.
+	BatchSize int
+}
+
+// TopologySink declares one sink node of a DAG job.
+type TopologySink struct {
+	// Name identifies the sink within the job.
+	Name string
+	// Machine hosts it.
+	Machine string
+	// Inputs lists the subjob IDs it consumes.
+	Inputs []string
+	// TrackIDs retains per-ID delivery counts for verification.
+	TrackIDs bool
+}
+
+// TopologyConfig deploys a DAG job.
+type TopologyConfig struct {
+	Cluster *cluster.Cluster
+	JobID   string
+	Sources []TopologySource
+	Subjobs []TopologySubjob
+	Sinks   []TopologySink
+	// Hybrid and PS tune the HA controllers, AckInterval the ackers and
+	// sinks, as in PipelineConfig.
+	Hybrid      core.Options
+	PS          PSOptions
+	AckInterval time.Duration
+}
+
+// Topology is a deployed DAG job.
+type Topology struct {
+	cfg     TopologyConfig
+	sources map[string]*cluster.Source
+	sinks   map[string]*cluster.Sink
+	groups  map[string]*Group
+	order   []string // subjobs in topological order
+}
+
+// NewTopology builds and wires the DAG; call Start to begin processing.
+func NewTopology(cfg TopologyConfig) (*Topology, error) {
+	if cfg.AckInterval <= 0 {
+		if cfg.Hybrid.CheckpointInterval > 0 {
+			cfg.AckInterval = cfg.Hybrid.CheckpointInterval
+		} else {
+			cfg.AckInterval = 10 * time.Millisecond
+		}
+	}
+	t := &Topology{
+		cfg:     cfg,
+		sources: make(map[string]*cluster.Source),
+		sinks:   make(map[string]*cluster.Sink),
+		groups:  make(map[string]*Group),
+	}
+	cl := cfg.Cluster
+
+	names := map[string]bool{}
+	for _, s := range cfg.Sources {
+		if names[s.Name] {
+			return nil, fmt.Errorf("ha: duplicate node name %q", s.Name)
+		}
+		names[s.Name] = true
+	}
+	for _, sj := range cfg.Subjobs {
+		if names[sj.ID] {
+			return nil, fmt.Errorf("ha: duplicate node name %q", sj.ID)
+		}
+		names[sj.ID] = true
+	}
+
+	order, err := t.topoSort()
+	if err != nil {
+		return nil, err
+	}
+	t.order = order
+
+	// Sources.
+	for _, s := range cfg.Sources {
+		m := cl.Machine(s.Machine)
+		if m == nil {
+			return nil, fmt.Errorf("ha: source %s: unknown machine %q", s.Name, s.Machine)
+		}
+		t.sources[s.Name] = cluster.NewSource(cluster.SourceConfig{
+			Machine:     m,
+			Clock:       cl.Clock(),
+			Stream:      t.streamOf(s.Name),
+			Rate:        s.Rate,
+			BurstOn:     s.BurstOn,
+			BurstOff:    s.BurstOff,
+			BurstFactor: s.BurstFactor,
+		})
+	}
+
+	// Subjob copies (phase A), in topological order.
+	for _, id := range order {
+		def := t.subjobDef(id)
+		g, err := t.buildGroup(def)
+		if err != nil {
+			return nil, err
+		}
+		t.groups[id] = g
+	}
+
+	// Sinks.
+	for _, sk := range cfg.Sinks {
+		m := cl.Machine(sk.Machine)
+		if m == nil {
+			return nil, fmt.Errorf("ha: sink %s: unknown machine %q", sk.Name, sk.Machine)
+		}
+		streams := make([]string, 0, len(sk.Inputs))
+		owners := make(map[string]string, len(sk.Inputs))
+		for _, in := range sk.Inputs {
+			if _, ok := t.groups[in]; !ok {
+				return nil, fmt.Errorf("ha: sink %s: unknown input %q", sk.Name, in)
+			}
+			st := t.streamOf(in)
+			streams = append(streams, st)
+			owners[st] = t.groups[in].Spec.ID
+		}
+		t.sinks[sk.Name] = cluster.NewSink(cluster.SinkConfig{
+			Machine:     m,
+			Clock:       cl.Clock(),
+			ID:          cfg.JobID + "/" + sk.Name,
+			InStreams:   streams,
+			Owners:      owners,
+			AckInterval: cfg.AckInterval,
+			TrackIDs:    sk.TrackIDs,
+		})
+	}
+
+	// Wiring (phase B): for every edge, subscribe every consumer copy to
+	// every producer copy.
+	for _, id := range order {
+		def := t.subjobDef(id)
+		g := t.groups[id]
+		for _, in := range def.Inputs {
+			for _, out := range t.producerOutputs(in) {
+				for _, tgt := range g.ConsumerTargets(t.streamOf(in)) {
+					out.Subscribe(tgt.Node, tgt.Stream, tgt.Active)
+				}
+			}
+		}
+	}
+	for _, sk := range cfg.Sinks {
+		sink := t.sinks[sk.Name]
+		for _, in := range sk.Inputs {
+			for _, out := range t.producerOutputs(in) {
+				out.Subscribe(sink.Node(), subjob.DataStream(sink.ID(), t.streamOf(in)), true)
+			}
+		}
+	}
+	return t, nil
+}
+
+// streamOf names the logical output stream of a source or subjob node.
+func (t *Topology) streamOf(node string) string { return t.cfg.JobID + "/out/" + node }
+
+func (t *Topology) subjobDef(id string) TopologySubjob {
+	for _, sj := range t.cfg.Subjobs {
+		if sj.ID == id {
+			return sj
+		}
+	}
+	panic("ha: unknown subjob " + id)
+}
+
+// topoSort orders subjobs so producers precede consumers, rejecting cycles
+// and unknown inputs.
+func (t *Topology) topoSort() ([]string, error) {
+	isSource := map[string]bool{}
+	for _, s := range t.cfg.Sources {
+		isSource[s.Name] = true
+	}
+	deps := map[string][]string{}
+	for _, sj := range t.cfg.Subjobs {
+		if len(sj.Inputs) == 0 {
+			return nil, fmt.Errorf("ha: subjob %s has no inputs", sj.ID)
+		}
+		for _, in := range sj.Inputs {
+			if isSource[in] {
+				continue
+			}
+			found := false
+			for _, other := range t.cfg.Subjobs {
+				if other.ID == in {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("ha: subjob %s: unknown input %q", sj.ID, in)
+			}
+			deps[sj.ID] = append(deps[sj.ID], in)
+		}
+	}
+	var order []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(id string) error
+	visit = func(id string) error {
+		switch state[id] {
+		case 1:
+			return fmt.Errorf("ha: topology cycle through %q", id)
+		case 2:
+			return nil
+		}
+		state[id] = 1
+		for _, dep := range deps[id] {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[id] = 2
+		order = append(order, id)
+		return nil
+	}
+	for _, sj := range t.cfg.Subjobs {
+		if err := visit(sj.ID); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// buildGroup mirrors Pipeline.buildGroup for a DAG node.
+func (t *Topology) buildGroup(def TopologySubjob) (*Group, error) {
+	cl := t.cfg.Cluster
+	isSource := map[string]bool{}
+	for _, s := range t.cfg.Sources {
+		isSource[s.Name] = true
+	}
+	inStreams := make([]string, 0, len(def.Inputs))
+	owners := make(map[string]string, len(def.Inputs))
+	for _, in := range def.Inputs {
+		st := t.streamOf(in)
+		inStreams = append(inStreams, st)
+		if isSource[in] {
+			owners[st] = cluster.SourceOwner
+		} else {
+			owners[st] = t.cfg.JobID + "/" + in
+		}
+	}
+	spec := subjob.Spec{
+		JobID:     t.cfg.JobID,
+		ID:        t.cfg.JobID + "/" + def.ID,
+		InStreams: inStreams,
+		Owners:    owners,
+		OutStream: t.streamOf(def.ID),
+		PEs:       def.PEs,
+		BatchSize: def.BatchSize,
+	}
+	priM := cl.Machine(def.Primary)
+	if priM == nil {
+		return nil, fmt.Errorf("ha: subjob %s: unknown primary machine %q", def.ID, def.Primary)
+	}
+	primary, err := subjob.New(spec, priM, false)
+	if err != nil {
+		return nil, err
+	}
+	primary.Start()
+
+	sjDef := SubjobDef{
+		ID:        def.ID,
+		PEs:       def.PEs,
+		Mode:      def.Mode,
+		Primary:   def.Primary,
+		Secondary: def.Secondary,
+		Spare:     def.Spare,
+		BatchSize: def.BatchSize,
+	}
+	g := &Group{Def: sjDef, Spec: spec, Mode: def.Mode, primary: primary}
+
+	if def.Mode != ModeNone && cl.Machine(def.Secondary) == nil {
+		return nil, fmt.Errorf("ha: subjob %s: unknown secondary machine %q", def.ID, def.Secondary)
+	}
+	needSecondary := def.Mode == ModeActive ||
+		(def.Mode == ModeHybrid && !t.cfg.Hybrid.NoPreDeploy)
+	if needSecondary {
+		sec, err := subjob.New(spec, cl.Machine(def.Secondary), def.Mode == ModeHybrid)
+		if err != nil {
+			return nil, err
+		}
+		sec.Start()
+		if def.Mode == ModeActive {
+			g.asSecondary = sec
+		} else {
+			g.hybridSec = sec
+		}
+	}
+	return g, nil
+}
+
+// producerOutputs returns the live output queues of the node (source or
+// subjob) named in.
+func (t *Topology) producerOutputs(in string) []*queue.Output {
+	if s, ok := t.sources[in]; ok {
+		return []*queue.Output{s.Out()}
+	}
+	if g, ok := t.groups[in]; ok {
+		return g.LiveOutputs()
+	}
+	return nil
+}
+
+// wiringFor builds the controller wiring closures for a DAG node.
+func (t *Topology) wiringFor(def TopologySubjob) core.Wiring {
+	return core.Wiring{
+		UpstreamOutputs: func() []*queue.Output {
+			var outs []*queue.Output
+			for _, in := range def.Inputs {
+				outs = append(outs, t.producerOutputs(in)...)
+			}
+			return outs
+		},
+		DownstreamTargets: func() []core.Target {
+			var targets []core.Target
+			for _, sj := range t.cfg.Subjobs {
+				for _, in := range sj.Inputs {
+					if in == def.ID {
+						targets = append(targets, t.groups[sj.ID].ConsumerTargets(t.streamOf(in))...)
+					}
+				}
+			}
+			for _, sk := range t.cfg.Sinks {
+				for _, in := range sk.Inputs {
+					if in == def.ID {
+						sink := t.sinks[sk.Name]
+						targets = append(targets, core.Target{
+							Node:   sink.Node(),
+							Stream: subjob.DataStream(sink.ID(), t.streamOf(in)),
+							Active: true,
+						})
+					}
+				}
+			}
+			return targets
+		},
+	}
+}
+
+// Start launches sinks, HA controllers and ackers, then the sources.
+func (t *Topology) Start() error {
+	cl := t.cfg.Cluster
+	for _, sk := range t.sinks {
+		sk.Start()
+	}
+	for _, id := range t.order {
+		def := t.subjobDef(id)
+		g := t.groups[id]
+		switch def.Mode {
+		case ModeNone:
+			g.ackers = append(g.ackers, checkpoint.NewAcker(g.primary, cl.Clock(), t.cfg.AckInterval))
+		case ModeActive:
+			g.ackers = append(g.ackers,
+				checkpoint.NewAcker(g.primary, cl.Clock(), t.cfg.AckInterval),
+				checkpoint.NewAcker(g.asSecondary, cl.Clock(), t.cfg.AckInterval))
+		case ModePassive:
+			g.PS = NewPS(PSConfig{
+				Spec:             g.Spec,
+				Clock:            cl.Clock(),
+				Primary:          g.primary,
+				SecondaryMachine: cl.Machine(def.Secondary),
+				Wiring:           t.wiringFor(def),
+				Options:          t.cfg.PS,
+			})
+			g.PS.Start()
+		case ModeHybrid:
+			g.Hybrid = core.NewController(core.ControllerConfig{
+				Spec:             g.Spec,
+				Clock:            cl.Clock(),
+				Primary:          g.primary,
+				Secondary:        g.hybridSec,
+				SecondaryMachine: cl.Machine(def.Secondary),
+				SpareMachine:     cl.Machine(def.Spare),
+				Wiring:           t.wiringFor(def),
+				Options:          t.cfg.Hybrid,
+			})
+			if err := g.Hybrid.Start(); err != nil {
+				return err
+			}
+		}
+		for _, a := range g.ackers {
+			a.Start()
+		}
+	}
+	for _, s := range t.sources {
+		s.Start()
+	}
+	return nil
+}
+
+// Stop halts everything: sources first, then controllers, copies and sinks.
+func (t *Topology) Stop() {
+	for _, s := range t.sources {
+		s.Stop()
+	}
+	for _, id := range t.order {
+		g := t.groups[id]
+		for _, a := range g.ackers {
+			a.Stop()
+		}
+		if g.PS != nil {
+			g.PS.Stop()
+			g.PS.ActiveRuntime().Stop()
+		}
+		if g.Hybrid != nil {
+			g.Hybrid.Stop()
+			g.Hybrid.PrimaryRuntime().Stop()
+		} else if g.hybridSec != nil {
+			g.hybridSec.Stop()
+		}
+		if g.Mode != ModePassive && g.Mode != ModeHybrid {
+			g.primary.Stop()
+		}
+		if g.asSecondary != nil {
+			g.asSecondary.Stop()
+		}
+	}
+	for _, sk := range t.sinks {
+		sk.Stop()
+	}
+}
+
+// Source returns the source named name, or nil.
+func (t *Topology) Source(name string) *cluster.Source { return t.sources[name] }
+
+// Sink returns the sink named name, or nil.
+func (t *Topology) Sink(name string) *cluster.Sink { return t.sinks[name] }
+
+// Group returns the deployed subjob named id, or nil.
+func (t *Topology) Group(id string) *Group { return t.groups[id] }
+
+// Order returns the subjobs in topological order.
+func (t *Topology) Order() []string { return append([]string(nil), t.order...) }

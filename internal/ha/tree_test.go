@@ -1,0 +1,196 @@
+package ha_test
+
+// The paper's discussion section names tree-shaped PE topologies as future
+// work. The runtime's queue layer supports them already: an output queue
+// fans out to any number of downstream subscribers (each gating trims),
+// and an input queue merges any number of upstream streams. This test
+// wires a diamond topology by hand from the cluster primitives —
+//
+//	          ┌─> branch-a (hybrid) ─┐
+//	source ─> split                  ├─> merge ─> sink
+//	          └─> branch-b ──────────┘
+//
+// — protects one branch with the hybrid method, stalls its primary, and
+// verifies exactly-once delivery on both branches end to end.
+
+import (
+	"testing"
+	"time"
+
+	"streamha/internal/checkpoint"
+	"streamha/internal/cluster"
+	"streamha/internal/core"
+	"streamha/internal/pe"
+	"streamha/internal/queue"
+	"streamha/internal/subjob"
+)
+
+func treePEs(t *testing.T) []subjob.PESpec {
+	t.Helper()
+	return []subjob.PESpec{{
+		Name:     "pe",
+		NewLogic: func() pe.Logic { return &pe.CounterLogic{Pad: 5} },
+		Cost:     20 * time.Microsecond,
+	}}
+}
+
+func TestTreeTopologyWithHybridBranch(t *testing.T) {
+	cl := cluster.New(cluster.Config{Latency: 100 * time.Microsecond})
+	defer cl.Close()
+	for _, id := range []string{"m-src", "m-sink", "m-split", "m-a", "m-a2", "m-b", "m-merge"} {
+		cl.MustAddMachine(id)
+	}
+	clk := cl.Clock()
+
+	// Streams: s0 source->split, sa split->branch-a, sb split->branch-b,
+	// ma branch-a->merge, mb branch-b->merge, out merge->sink.
+	src := cluster.NewSource(cluster.SourceConfig{
+		Machine: cl.Machine("m-src"), Clock: clk, Stream: "s0", Rate: 2000,
+	})
+
+	split, err := subjob.New(subjob.Spec{
+		JobID: "tree", ID: "tree/split",
+		InStreams: []string{"s0"},
+		Owners:    map[string]string{"s0": cluster.SourceOwner},
+		OutStream: "sfan",
+		PEs:       treePEs(t),
+		BatchSize: 16,
+	}, cl.Machine("m-split"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	branchSpec := func(id string) subjob.Spec {
+		return subjob.Spec{
+			JobID: "tree", ID: "tree/" + id,
+			InStreams: []string{"sfan"},
+			Owners:    map[string]string{"sfan": "tree/split"},
+			OutStream: "m" + id,
+			PEs:       treePEs(t),
+			BatchSize: 16,
+		}
+	}
+	branchA, err := subjob.New(branchSpec("a"), cl.Machine("m-a"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	branchB, err := subjob.New(branchSpec("b"), cl.Machine("m-b"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The merge consumes both branch streams (fan-in).
+	merge, err := subjob.New(subjob.Spec{
+		JobID: "tree", ID: "tree/merge",
+		InStreams: []string{"ma", "mb"},
+		Owners:    map[string]string{"ma": "tree/a", "mb": "tree/b"},
+		OutStream: "out",
+		PEs:       treePEs(t),
+		BatchSize: 16,
+	}, cl.Machine("m-merge"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sink := cluster.NewSink(cluster.SinkConfig{
+		Machine: cl.Machine("m-sink"), Clock: clk, ID: "tree/sink",
+		InStreams:   []string{"out"},
+		Owners:      map[string]string{"out": "tree/merge"},
+		AckInterval: 10 * time.Millisecond,
+		TrackIDs:    true,
+	})
+
+	for _, rt := range []*subjob.Runtime{split, branchA, branchB, merge} {
+		rt.Start()
+		defer rt.Stop()
+	}
+	sink.Start()
+	defer sink.Stop()
+
+	// Wiring. The split's single output queue fans out to BOTH branches:
+	// each branch holds back trimming until it has acknowledged.
+	src.Out().Subscribe("m-split", subjob.DataStream("tree/split", "s0"), true)
+	split.Out().Subscribe("m-a", subjob.DataStream("tree/a", "sfan"), true)
+	split.Out().Subscribe("m-b", subjob.DataStream("tree/b", "sfan"), true)
+	branchA.Out().Subscribe("m-merge", subjob.DataStream("tree/merge", "ma"), true)
+	branchB.Out().Subscribe("m-merge", subjob.DataStream("tree/merge", "mb"), true)
+	merge.Out().Subscribe("m-sink", subjob.DataStream("tree/sink", "out"), true)
+
+	// Ackers drive trims on the unprotected stages.
+	for _, rt := range []*subjob.Runtime{split, branchB, merge} {
+		a := checkpoint.NewAcker(rt, clk, 10*time.Millisecond)
+		a.Start()
+		defer a.Stop()
+	}
+
+	// Protect branch A with the hybrid method on machine m-a2.
+	ctl := core.NewController(core.ControllerConfig{
+		Spec:             branchSpec("a"),
+		Clock:            clk,
+		Primary:          branchA,
+		SecondaryMachine: cl.Machine("m-a2"),
+		Wiring: core.Wiring{
+			UpstreamOutputs: func() []*queue.Output { return []*queue.Output{split.Out()} },
+			DownstreamTargets: func() []core.Target {
+				return []core.Target{{Node: "m-merge", Stream: subjob.DataStream("tree/merge", "ma"), Active: true}}
+			},
+		},
+	})
+	if err := ctl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Stop()
+
+	src.Start()
+	defer src.Stop()
+	time.Sleep(400 * time.Millisecond)
+
+	// Stall branch A's primary; the hybrid standby takes over while branch
+	// B is untouched.
+	cl.Machine("m-a").CPU().SetBackgroundLoad(1)
+	time.Sleep(300 * time.Millisecond)
+	cl.Machine("m-a").CPU().SetBackgroundLoad(0)
+	time.Sleep(500 * time.Millisecond)
+
+	src.Stop()
+	time.Sleep(400 * time.Millisecond)
+
+	if len(ctl.Switches()) == 0 {
+		t.Fatal("hybrid branch never switched during the stall")
+	}
+
+	// Exactly-once per branch: with selectivity-1 deterministic PEs, the
+	// merge emits one element per branch per source element, and the two
+	// branches produce distinct derived IDs only at the source level —
+	// both branch outputs of a source element carry the same logical ID,
+	// so each ID must be delivered exactly twice (once per branch).
+	counts := sink.IDCounts()
+	if len(counts) < 500 {
+		t.Fatalf("sink saw %d distinct ids", len(counts))
+	}
+	var max uint64
+	for id := range counts {
+		if id > max {
+			max = id
+		}
+	}
+	missing, wrong := 0, 0
+	for id := uint64(1); id <= max; id++ {
+		switch counts[id] {
+		case 2:
+		case 0:
+			missing++
+		default:
+			wrong++
+		}
+	}
+	if missing > 0 || wrong > 0 {
+		t.Fatalf("per-branch exactly-once violated: %d missing, %d wrong-count ids (max %d)", missing, wrong, max)
+	}
+	if _, gaps := sink.In().Drops(); gaps != 0 {
+		t.Fatalf("sink recorded %d gaps", gaps)
+	}
+	if _, gaps := merge.In().Drops(); gaps != 0 {
+		t.Fatalf("merge recorded %d gaps", gaps)
+	}
+}

@@ -1,0 +1,221 @@
+package machine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"streamha/internal/clock"
+	"streamha/internal/transport"
+)
+
+// Machine is one simulated cluster machine. It owns a transport endpoint, a
+// CPU, and a registry of stream handlers through which hosted components
+// (subjob runtimes, checkpoint managers, detectors, responders) receive
+// their messages.
+type Machine struct {
+	id  transport.NodeID
+	clk clock.Clock
+	cpu *CPU
+	net transport.Network
+	ep  transport.Endpoint
+
+	mu       sync.RWMutex
+	streams  map[string]transport.Handler
+	crashed  bool
+	onCrash  []func()
+	stopOnce sync.Once
+}
+
+// New registers a machine named id on the network and returns it.
+func New(id string, clk clock.Clock, net transport.Network) (*Machine, error) {
+	m := &Machine{
+		id:      transport.NodeID(id),
+		clk:     clk,
+		cpu:     NewCPU(clk),
+		net:     net,
+		streams: make(map[string]transport.Handler),
+	}
+	ep, err := net.Register(m.id, m.handle)
+	if err != nil {
+		return nil, fmt.Errorf("machine %q: %w", id, err)
+	}
+	m.ep = ep
+	return m, nil
+}
+
+// ID returns the machine's node ID.
+func (m *Machine) ID() transport.NodeID { return m.id }
+
+// Clock returns the machine's time source.
+func (m *Machine) Clock() clock.Clock { return m.clk }
+
+// CPU returns the machine's CPU model.
+func (m *Machine) CPU() *CPU { return m.cpu }
+
+// Send transmits msg to the node named to. Messages from a crashed machine
+// are dropped by the network.
+func (m *Machine) Send(to transport.NodeID, msg transport.Message) {
+	_ = m.ep.Send(to, msg)
+}
+
+// RegisterStream routes incoming messages whose Stream field equals stream
+// to h. Handlers must be light — heavy work belongs in component goroutines
+// that call CPU().Execute — because one goroutine dispatches all of the
+// machine's incoming messages in order.
+func (m *Machine) RegisterStream(stream string, h transport.Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.streams[stream] = h
+}
+
+// UnregisterStream removes the handler for stream.
+func (m *Machine) UnregisterStream(stream string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.streams, stream)
+}
+
+// OnCrash registers a hook invoked when the machine crashes. Components use
+// it to halt their goroutines.
+func (m *Machine) OnCrash(f func()) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onCrash = append(m.onCrash, f)
+}
+
+// Crash fail-stops the machine: the network drops its traffic, its CPU
+// freezes, and crash hooks run. Hosted state is lost from the cluster's
+// point of view; recovery must redeploy.
+func (m *Machine) Crash() {
+	m.mu.Lock()
+	if m.crashed {
+		m.mu.Unlock()
+		return
+	}
+	m.crashed = true
+	hooks := append([]func(){}, m.onCrash...)
+	m.mu.Unlock()
+
+	m.net.SetDown(m.id, true)
+	m.cpu.setStopped(true)
+	for _, f := range hooks {
+		f()
+	}
+}
+
+// Restart brings a crashed machine back up with empty state. The
+// coordinator is responsible for redeploying subjobs onto it.
+func (m *Machine) Restart() {
+	m.mu.Lock()
+	if !m.crashed {
+		m.mu.Unlock()
+		return
+	}
+	m.crashed = false
+	m.streams = make(map[string]transport.Handler)
+	m.onCrash = nil
+	m.mu.Unlock()
+
+	m.cpu.setStopped(false)
+	m.net.SetDown(m.id, false)
+}
+
+// Crashed reports whether the machine is currently failed-stop.
+func (m *Machine) Crashed() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.crashed
+}
+
+func (m *Machine) handle(from transport.NodeID, msg transport.Message) {
+	m.mu.RLock()
+	crashed := m.crashed
+	h := m.streams[msg.Stream]
+	m.mu.RUnlock()
+	if crashed || h == nil {
+		return
+	}
+	h(from, msg)
+}
+
+// LoadMonitor periodically samples a CPU at a fine granularity, keeping a
+// windowed estimate of total utilization. The benchmark failure detector
+// reads it the way the paper's implementation reads /proc via system calls.
+type LoadMonitor struct {
+	cpu      *CPU
+	clk      clock.Clock
+	interval time.Duration
+
+	mu       sync.Mutex
+	lastWork time.Duration
+	lastAt   time.Time
+	util     float64
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewLoadMonitor starts a monitor sampling cpu every interval.
+func NewLoadMonitor(cpu *CPU, clk clock.Clock, interval time.Duration) *LoadMonitor {
+	lm := &LoadMonitor{
+		cpu:      cpu,
+		clk:      clk,
+		interval: interval,
+		lastWork: cpu.WorkDone(),
+		lastAt:   clk.Now(),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go lm.run()
+	return lm
+}
+
+func (lm *LoadMonitor) run() {
+	defer close(lm.done)
+	t := lm.clk.NewTicker(lm.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-lm.stop:
+			return
+		case <-t.C():
+			lm.sample()
+		}
+	}
+}
+
+func (lm *LoadMonitor) sample() {
+	now := lm.clk.Now()
+	work := lm.cpu.WorkDone()
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	dt := now.Sub(lm.lastAt)
+	if dt <= 0 {
+		return
+	}
+	app := float64(work-lm.lastWork) / float64(dt)
+	lm.lastWork = work
+	lm.lastAt = now
+	u := lm.cpu.BackgroundLoad() + app
+	if u > 1 {
+		u = 1
+	}
+	lm.util = u
+}
+
+// Utilization returns the most recent windowed utilization estimate.
+func (lm *LoadMonitor) Utilization() float64 {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return lm.util
+}
+
+// Stop halts the monitor's sampling goroutine.
+func (lm *LoadMonitor) Stop() {
+	select {
+	case <-lm.stop:
+	default:
+		close(lm.stop)
+	}
+	<-lm.done
+}

@@ -1,0 +1,264 @@
+package machine
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"streamha/internal/clock"
+	"streamha/internal/transport"
+)
+
+func newTestMachine(t *testing.T) (*Machine, *transport.Mem) {
+	t.Helper()
+	net := transport.NewMem(transport.MemConfig{})
+	t.Cleanup(net.Close)
+	m, err := New("m1", clock.New(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, net
+}
+
+func TestExecuteTakesAboutWorkWhenIdle(t *testing.T) {
+	m, _ := newTestMachine(t)
+	const work = 30 * time.Millisecond
+	start := time.Now()
+	m.CPU().Execute(work)
+	elapsed := time.Since(start)
+	if elapsed < work || elapsed > 4*work {
+		t.Fatalf("idle Execute(%v) took %v", work, elapsed)
+	}
+}
+
+func TestExecuteSlowsWithBackgroundLoad(t *testing.T) {
+	m, _ := newTestMachine(t)
+	const work = 10 * time.Millisecond
+
+	start := time.Now()
+	m.CPU().Execute(work)
+	idle := time.Since(start)
+
+	m.CPU().SetBackgroundLoad(0.75)
+	start = time.Now()
+	m.CPU().Execute(work)
+	loaded := time.Since(start)
+
+	// At 75% background load the same work takes ~4x as long.
+	if loaded < idle*2 {
+		t.Fatalf("idle %v vs loaded %v: load had no effect", idle, loaded)
+	}
+}
+
+func TestExecuteSharesAmongActivities(t *testing.T) {
+	m, _ := newTestMachine(t)
+	const work = 20 * time.Millisecond
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.CPU().Execute(work)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	// Two concurrent 20ms tasks on one CPU need ~40ms.
+	if elapsed < 35*time.Millisecond {
+		t.Fatalf("two concurrent tasks finished in %v: no contention modeled", elapsed)
+	}
+}
+
+func TestExecutePriorityIgnoresAppContention(t *testing.T) {
+	m, _ := newTestMachine(t)
+	// Saturate with app activities.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					m.CPU().Execute(2 * time.Millisecond)
+				}
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	start := time.Now()
+	m.CPU().ExecutePriority(2 * time.Millisecond)
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+	if elapsed > 15*time.Millisecond {
+		t.Fatalf("priority work took %v under app load", elapsed)
+	}
+}
+
+func TestExecutePrioritySlowedByBackgroundLoad(t *testing.T) {
+	m, _ := newTestMachine(t)
+	m.CPU().SetBackgroundLoad(0.9)
+	start := time.Now()
+	m.CPU().ExecutePriority(2 * time.Millisecond)
+	elapsed := time.Since(start)
+	if elapsed < 15*time.Millisecond {
+		t.Fatalf("priority work at 90%% load took only %v", elapsed)
+	}
+}
+
+func TestCrashAbandonsExecution(t *testing.T) {
+	m, _ := newTestMachine(t)
+	m.CPU().SetBackgroundLoad(1) // near-stall: 10ms of work would take ~5s
+	done := make(chan struct{})
+	go func() {
+		m.CPU().Execute(10 * time.Millisecond)
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	m.Crash()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Execute did not abandon work on crash")
+	}
+}
+
+func TestCrashDropsMessagesAndRestartRestores(t *testing.T) {
+	net := transport.NewMem(transport.MemConfig{})
+	defer net.Close()
+	m, err := New("m1", clock.New(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := New("m2", clock.New(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	received := 0
+	m.RegisterStream("s", func(transport.NodeID, transport.Message) {
+		mu.Lock()
+		received++
+		mu.Unlock()
+	})
+
+	peer.Send(m.ID(), transport.Message{Stream: "s"})
+	time.Sleep(5 * time.Millisecond)
+
+	hookFired := false
+	m.OnCrash(func() { hookFired = true })
+	m.Crash()
+	if !m.Crashed() || !hookFired {
+		t.Fatal("crash state or hook wrong")
+	}
+	peer.Send(m.ID(), transport.Message{Stream: "s"})
+	time.Sleep(5 * time.Millisecond)
+
+	m.Restart()
+	if m.Crashed() {
+		t.Fatal("still crashed after restart")
+	}
+	// Handlers are cleared by restart; re-register.
+	m.RegisterStream("s", func(transport.NodeID, transport.Message) {
+		mu.Lock()
+		received++
+		mu.Unlock()
+	})
+	peer.Send(m.ID(), transport.Message{Stream: "s"})
+	time.Sleep(5 * time.Millisecond)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if received != 2 {
+		t.Fatalf("received %d, want 2 (crash window dropped)", received)
+	}
+}
+
+func TestStreamRouting(t *testing.T) {
+	m, _ := newTestMachine(t)
+	peer, err := New("m2", clock.New(), mustNet(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []string
+	for _, s := range []string{"a", "b"} {
+		s := s
+		m.RegisterStream(s, func(_ transport.NodeID, msg transport.Message) {
+			mu.Lock()
+			got = append(got, s+":"+msg.Command)
+			mu.Unlock()
+		})
+	}
+	peer.Send(m.ID(), transport.Message{Stream: "b", Command: "x"})
+	peer.Send(m.ID(), transport.Message{Stream: "a", Command: "y"})
+	peer.Send(m.ID(), transport.Message{Stream: "unknown", Command: "z"})
+	time.Sleep(5 * time.Millisecond)
+	mu.Lock()
+	if len(got) != 2 || got[0] != "b:x" || got[1] != "a:y" {
+		mu.Unlock()
+		t.Fatalf("routing got %v", got)
+	}
+	mu.Unlock()
+
+	m.UnregisterStream("a")
+	peer.Send(m.ID(), transport.Message{Stream: "a"})
+	time.Sleep(5 * time.Millisecond)
+	mu.Lock()
+	if len(got) != 2 {
+		mu.Unlock()
+		t.Fatal("unregistered stream still routed")
+	}
+	mu.Unlock()
+}
+
+// mustNet extracts the network a machine was registered on via a second
+// registration — helper keeping tests independent of struct internals.
+func mustNet(t *testing.T, m *Machine) transport.Network {
+	t.Helper()
+	return m.net
+}
+
+func TestLoadMonitorTracksBackgroundAndAppLoad(t *testing.T) {
+	m, _ := newTestMachine(t)
+	lm := NewLoadMonitor(m.CPU(), clock.New(), 5*time.Millisecond)
+	defer lm.Stop()
+
+	time.Sleep(20 * time.Millisecond)
+	if u := lm.Utilization(); u > 0.2 {
+		t.Fatalf("idle utilization %f", u)
+	}
+
+	m.CPU().SetBackgroundLoad(0.8)
+	time.Sleep(25 * time.Millisecond)
+	if u := lm.Utilization(); u < 0.7 {
+		t.Fatalf("loaded utilization %f, want >= 0.7", u)
+	}
+}
+
+func TestUtilizationInstantaneous(t *testing.T) {
+	m, _ := newTestMachine(t)
+	if u := m.CPU().Utilization(); u != 0 {
+		t.Fatalf("idle util %f", u)
+	}
+	m.CPU().SetBackgroundLoad(0.5)
+	if u := m.CPU().Utilization(); u < 0.49 || u > 0.51 {
+		t.Fatalf("bg util %f", u)
+	}
+	done := make(chan struct{})
+	go func() {
+		m.CPU().Execute(50 * time.Millisecond)
+		close(done)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	if u := m.CPU().Utilization(); u < 0.99 {
+		t.Fatalf("busy util %f, want ~1", u)
+	}
+	<-done
+}

@@ -1,0 +1,199 @@
+// Package metrics collects the measurements the paper's evaluation
+// reports: per-element end-to-end delay statistics, empirical CDFs, and
+// recovery-time decompositions.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DelayStats accumulates per-element delay samples, safe for concurrent
+// use. Samples are retained so that percentiles and CDFs can be computed.
+type DelayStats struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sum     time.Duration
+	max     time.Duration
+}
+
+// Add records one delay sample.
+func (d *DelayStats) Add(v time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.samples = append(d.samples, v)
+	d.sum += v
+	if v > d.max {
+		d.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (d *DelayStats) Count() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.samples)
+}
+
+// Mean returns the mean delay, or zero with no samples.
+func (d *DelayStats) Mean() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.samples) == 0 {
+		return 0
+	}
+	return d.sum / time.Duration(len(d.samples))
+}
+
+// Max returns the largest sample.
+func (d *DelayStats) Max() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.max
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) by
+// nearest-rank over the recorded samples.
+func (d *DelayStats) Percentile(p float64) time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.samples)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), d.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(p/100*float64(n)+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return sorted[rank]
+}
+
+// MeanSince returns the mean over samples recorded after the first skip
+// samples — used to exclude warm-up.
+func (d *DelayStats) MeanSince(skip int) time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if skip < 0 {
+		skip = 0
+	}
+	if skip >= len(d.samples) {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range d.samples[skip:] {
+		sum += v
+	}
+	return sum / time.Duration(len(d.samples)-skip)
+}
+
+// Samples returns a copy of all samples.
+func (d *DelayStats) Samples() []time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]time.Duration(nil), d.samples...)
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// CDF computes the empirical CDF of values, one point per sample.
+func CDF(values []float64) []CDFPoint {
+	if len(values) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, len(sorted))
+	for i, v := range sorted {
+		out[i] = CDFPoint{Value: v, Fraction: float64(i+1) / float64(len(sorted))}
+	}
+	return out
+}
+
+// FractionBelow returns the fraction of values strictly below x.
+func FractionBelow(values []float64, x float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range values {
+		if v < x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(values))
+}
+
+// Recovery decomposes one failure recovery the way Figures 7 and 8 do:
+// detection, redeployment (passive standby) or resume (hybrid), and
+// retransmission/reprocessing until the first new output.
+type Recovery struct {
+	// FailureAt is when the transient failure began (ground truth).
+	FailureAt time.Time
+	// DetectedAt is when the detector declared it.
+	DetectedAt time.Time
+	// ReadyAt is when the recovery copy was running (deployed and connected
+	// for PS; resumed for hybrid).
+	ReadyAt time.Time
+	// FirstOutputAt is when the first post-recovery new output reached the
+	// sink.
+	FirstOutputAt time.Time
+}
+
+// Detection returns the detection phase duration.
+func (r Recovery) Detection() time.Duration { return r.DetectedAt.Sub(r.FailureAt) }
+
+// Deploy returns the redeployment/resume phase duration.
+func (r Recovery) Deploy() time.Duration { return r.ReadyAt.Sub(r.DetectedAt) }
+
+// Reprocess returns the retransmission/reprocessing phase duration.
+func (r Recovery) Reprocess() time.Duration { return r.FirstOutputAt.Sub(r.ReadyAt) }
+
+// Total returns the full recovery time: failure inception to first new
+// output.
+func (r Recovery) Total() time.Duration { return r.FirstOutputAt.Sub(r.FailureAt) }
+
+// RecoveryLog accumulates recovery records, safe for concurrent use.
+type RecoveryLog struct {
+	mu      sync.Mutex
+	records []Recovery
+}
+
+// Add appends one record.
+func (l *RecoveryLog) Add(r Recovery) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.records = append(l.records, r)
+}
+
+// Records returns a copy of all records.
+func (l *RecoveryLog) Records() []Recovery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Recovery(nil), l.records...)
+}
+
+// MeanPhases returns the mean of each phase over the records.
+func (l *RecoveryLog) MeanPhases() (detection, deploy, reprocess time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.records) == 0 {
+		return 0, 0, 0
+	}
+	for _, r := range l.records {
+		detection += r.Detection()
+		deploy += r.Deploy()
+		reprocess += r.Reprocess()
+	}
+	n := time.Duration(len(l.records))
+	return detection / n, deploy / n, reprocess / n
+}

@@ -1,0 +1,258 @@
+package pe
+
+import (
+	"sync"
+	"time"
+
+	"streamha/internal/element"
+	"streamha/internal/queue"
+)
+
+// Source feeds a PE. Both queue.Input and Pipe satisfy it.
+type Source interface {
+	Ready() <-chan struct{}
+	TryPop(max int) []queue.In
+}
+
+// Sink receives a PE's outputs. Pipe satisfies it directly; the subjob
+// runtime adapts queue.Output.
+type Sink interface {
+	Push(elems []element.Element)
+}
+
+// Executor charges CPU work to the hosting machine. machine.CPU satisfies
+// it; tests may use a no-op.
+type Executor interface {
+	Execute(work time.Duration)
+}
+
+// Config assembles a PE runtime.
+type Config struct {
+	// Name identifies the PE in logs and metrics.
+	Name string
+	// Logic is the processing function with its checkpointable state.
+	Logic Logic
+	// Cost is the CPU work charged per input element; this is the
+	// "synthesized computation" knob of the paper's evaluation.
+	Cost time.Duration
+	// BatchSize bounds how many elements are processed per loop iteration.
+	// Defaults to 64. Smaller batches react to pause requests faster.
+	BatchSize int
+	// Executor charges processing work; nil means processing is free.
+	Executor Executor
+	// Source and Sink connect the PE into the subjob pipeline.
+	Source Source
+	Sink   Sink
+}
+
+// PE is the runtime driving one processing element: a goroutine that pops
+// input batches, charges their CPU cost, applies the Logic and pushes the
+// outputs. It implements the paper's pause/checkpoint/resume protocol:
+// Pause parks the loop at a quiescent point (no element half-processed),
+// after which the checkpoint manager may call Snapshot-related methods, and
+// Resume restarts it. A parked PE consumes no CPU, which is how suspended
+// hybrid-standby copies are kept warm for free.
+type PE struct {
+	cfg  Config
+	kick chan struct{}
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pauseReq bool
+	parked   bool
+	stopped  bool
+	started  bool
+	consumed map[string]uint64
+	done     chan struct{}
+
+	processed uint64
+}
+
+// New creates a PE runtime; call Start to launch its loop.
+func New(cfg Config) *PE {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	p := &PE{
+		cfg:      cfg,
+		kick:     make(chan struct{}, 1),
+		consumed: make(map[string]uint64),
+		done:     make(chan struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Name returns the PE's name.
+func (p *PE) Name() string { return p.cfg.Name }
+
+// Logic returns the PE's logic, for checkpointing and inspection.
+func (p *PE) Logic() Logic { return p.cfg.Logic }
+
+// Start launches the processing loop. Starting twice panics; a PE is
+// started exactly once by its subjob runtime.
+func (p *PE) Start() {
+	p.mu.Lock()
+	if p.started {
+		p.mu.Unlock()
+		panic("pe: Start called twice")
+	}
+	p.started = true
+	p.mu.Unlock()
+	go p.run()
+}
+
+// Stop terminates the loop; it returns once the goroutine has exited.
+// Stopping a never-started PE is a no-op.
+func (p *PE) Stop() {
+	p.mu.Lock()
+	started := p.started
+	p.stopped = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.signalKick()
+	if started {
+		<-p.done
+	}
+}
+
+// Pause asks the loop to park at the next quiescent point and blocks until
+// it has. Pausing an already-parked PE returns immediately.
+func (p *PE) Pause() {
+	p.mu.Lock()
+	p.pauseReq = true
+	p.mu.Unlock()
+	p.signalKick()
+	p.mu.Lock()
+	for !p.parked && !p.stopped && p.started {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// Resume lets a parked loop continue.
+func (p *PE) Resume() {
+	p.mu.Lock()
+	p.pauseReq = false
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.signalKick()
+}
+
+// Paused reports whether a pause is currently requested.
+func (p *PE) Paused() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pauseReq
+}
+
+// ConsumedPositions returns the highest input sequence number processed per
+// logical stream. Only meaningful for the first PE of a subjob, whose
+// source is the subjob input queue; positions become acknowledgments once
+// the covering checkpoint is stored.
+func (p *PE) ConsumedPositions() map[string]uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]uint64, len(p.consumed))
+	for k, v := range p.consumed {
+		out[k] = v
+	}
+	return out
+}
+
+// SetConsumedPositions overwrites consumption positions during a restore.
+func (p *PE) SetConsumedPositions(pos map[string]uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.consumed = make(map[string]uint64, len(pos))
+	for k, v := range pos {
+		p.consumed[k] = v
+	}
+}
+
+// Processed returns the total number of elements processed.
+func (p *PE) Processed() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.processed
+}
+
+func (p *PE) signalKick() {
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+}
+
+// park blocks while a pause is requested. It returns false when the PE is
+// stopped.
+func (p *PE) park() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.pauseReq && !p.stopped {
+		p.parked = true
+		p.cond.Broadcast()
+		p.cond.Wait()
+	}
+	p.parked = false
+	return !p.stopped
+}
+
+func (p *PE) run() {
+	defer close(p.done)
+	for {
+		if !p.park() {
+			return
+		}
+		// Drain available input, checking for control requests between
+		// batches so pauses are honored promptly.
+		for {
+			ins := p.cfg.Source.TryPop(p.cfg.BatchSize)
+			if len(ins) == 0 {
+				break
+			}
+			p.processBatch(ins)
+			if p.controlPending() {
+				break
+			}
+		}
+		if p.controlPending() {
+			continue
+		}
+		select {
+		case <-p.kick:
+		case <-p.cfg.Source.Ready():
+		}
+	}
+}
+
+func (p *PE) controlPending() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pauseReq || p.stopped
+}
+
+func (p *PE) processBatch(ins []queue.In) {
+	if p.cfg.Executor != nil && p.cfg.Cost > 0 {
+		p.cfg.Executor.Execute(p.cfg.Cost * time.Duration(len(ins)))
+	}
+	outs := make([]element.Element, 0, len(ins))
+	emit := func(e element.Element) { outs = append(outs, e) }
+	for _, in := range ins {
+		p.cfg.Logic.Process(in.Elem, emit)
+	}
+	if len(outs) > 0 {
+		p.cfg.Sink.Push(outs)
+	}
+	p.mu.Lock()
+	p.processed += uint64(len(ins))
+	for _, in := range ins {
+		if in.Stream == "" {
+			continue
+		}
+		if in.Elem.Seq > p.consumed[in.Stream] {
+			p.consumed[in.Stream] = in.Elem.Seq
+		}
+	}
+	p.mu.Unlock()
+}

@@ -1,0 +1,200 @@
+package queue
+
+import (
+	"sync"
+
+	"streamha/internal/element"
+)
+
+// In is one queued input element together with the logical stream it
+// arrived on, so that consumption positions can be acknowledged per stream.
+type In struct {
+	Stream string
+	Elem   element.Element
+}
+
+// Input is the merged input queue of a subjob copy. It accepts data from
+// one or more logical upstream streams, deduplicates by (stream, seq) —
+// which covers both active-standby duplicate delivery and post-recovery
+// retransmission — and feeds a single FIFO to the subjob's first PE.
+//
+// Consumption is non-blocking: TryPop drains what is available and Ready
+// signals (edge-triggered, capacity one) when new data arrives, so
+// consumers can select over data and control channels without a wakeup
+// race.
+//
+// Sequence numbers on each stream must arrive contiguously; the transport
+// is FIFO and retransmission always restarts from the consumer's
+// acknowledged floor, so a gap can only be produced by a protocol bug.
+// Gaps are counted and the offending elements dropped rather than silently
+// accepted out of order.
+type Input struct {
+	mu       sync.Mutex
+	buf      []In
+	accepted map[string]uint64 // highest accepted seq per stream
+	gaps     int
+	dups     int
+	ready    chan struct{}
+}
+
+// NewInput returns an empty input queue accepting the given streams.
+func NewInput(streams ...string) *Input {
+	q := &Input{
+		accepted: make(map[string]uint64, len(streams)),
+		ready:    make(chan struct{}, 1),
+	}
+	for _, s := range streams {
+		q.accepted[s] = 0
+	}
+	return q
+}
+
+// AddStream registers an additional upstream stream.
+func (q *Input) AddStream(stream string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.accepted[stream]; !ok {
+		q.accepted[stream] = 0
+	}
+}
+
+// Push offers a batch of elements that arrived on stream. Duplicates
+// (seq <= accepted) are dropped; a gap (seq > accepted+1) is counted and
+// dropped. Elements on unknown streams are ignored.
+func (q *Input) Push(stream string, elems []element.Element) {
+	q.mu.Lock()
+	if _, ok := q.accepted[stream]; !ok {
+		q.mu.Unlock()
+		return
+	}
+	appended := false
+	for _, e := range elems {
+		last := q.accepted[stream]
+		switch {
+		case e.Seq <= last:
+			q.dups++
+		case e.Seq == last+1:
+			q.accepted[stream] = e.Seq
+			q.buf = append(q.buf, In{Stream: stream, Elem: e})
+			appended = true
+		default:
+			q.gaps++
+		}
+	}
+	q.mu.Unlock()
+	if appended {
+		q.signal()
+	}
+}
+
+func (q *Input) signal() {
+	select {
+	case q.ready <- struct{}{}:
+	default:
+	}
+}
+
+// Ready returns a channel that receives a token when data may be
+// available. It is edge-triggered with capacity one: consumers must call
+// TryPop until it returns nothing before blocking on Ready again.
+func (q *Input) Ready() <-chan struct{} { return q.ready }
+
+// TryPop removes and returns up to max queued elements without blocking.
+func (q *Input) TryPop(max int) []In {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.buf)
+	if n == 0 {
+		return nil
+	}
+	if n > max {
+		n = max
+	}
+	out := make([]In, n)
+	copy(out, q.buf[:n])
+	q.buf = append([]In(nil), q.buf[n:]...)
+	return out
+}
+
+// Accepted returns the highest accepted sequence number for stream.
+func (q *Input) Accepted(stream string) uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.accepted[stream]
+}
+
+// SetAccepted aligns the queue with a restored or read-back snapshot whose
+// consumption positions are pos. Queued elements at or below a stream's
+// position are discarded (the state they produced is already in the
+// snapshot), and the dedup high-water mark is raised to at least the
+// position. The mark never moves backward: elements the queue has already
+// accepted stay accepted, so in-flight retransmissions are recognized as
+// duplicates rather than gaps.
+func (q *Input) SetAccepted(pos map[string]uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for s, v := range pos {
+		if v > q.accepted[s] {
+			q.accepted[s] = v
+		}
+	}
+	kept := q.buf[:0]
+	for _, in := range q.buf {
+		if in.Elem.Seq > pos[in.Stream] {
+			kept = append(kept, in)
+		}
+	}
+	q.buf = kept
+}
+
+// AcceptedAll returns the highest accepted sequence number of every stream.
+func (q *Input) AcceptedAll() map[string]uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]uint64, len(q.accepted))
+	for s, v := range q.accepted {
+		out[s] = v
+	}
+	return out
+}
+
+// SnapshotBuf returns a copy of the queued (unprocessed) elements. Only the
+// synchronous and individual checkpointing variants include input queues in
+// checkpoints; sweeping checkpointing excludes them by design.
+func (q *Input) SnapshotBuf() []In {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]In(nil), q.buf...)
+}
+
+// RestoreBuf replaces the queued elements and raises the dedup mark to
+// cover them.
+func (q *Input) RestoreBuf(buf []In) {
+	q.mu.Lock()
+	q.buf = append([]In(nil), buf...)
+	for _, in := range q.buf {
+		if in.Elem.Seq > q.accepted[in.Stream] {
+			q.accepted[in.Stream] = in.Elem.Seq
+		}
+	}
+	n := len(q.buf)
+	q.mu.Unlock()
+	if n > 0 {
+		q.signal()
+	}
+}
+
+// Len returns the number of queued elements.
+func (q *Input) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf)
+}
+
+// Drops returns the counts of duplicate and gap drops, for tests and
+// protocol assertions.
+func (q *Input) Drops() (dups, gaps int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dups, q.gaps
+}

@@ -1,0 +1,325 @@
+// Package queue implements the input and output queues that connect
+// processing elements across machines, including the cumulative
+// acknowledgment and trimming protocol that sweeping checkpointing is built
+// on (Section III of the paper).
+//
+// An output queue assigns an incremental sequence number to every newly
+// produced element and retains elements until every active downstream copy
+// has acknowledged them. A downstream acknowledges data only after the data
+// has been processed and the resulting state checkpointed, so any element a
+// failed copy might need again is still retained upstream and can be
+// retransmitted. Input queues deduplicate by (logical stream, sequence
+// number), which simultaneously handles active-standby duplicate delivery
+// and post-recovery retransmission.
+package queue
+
+import (
+	"fmt"
+	"sync"
+
+	"streamha/internal/element"
+	"streamha/internal/transport"
+)
+
+// Sender transmits a message to a node. Output queues use it to push data
+// to downstream copies; the subjob runtime provides the machine's endpoint.
+type Sender func(to transport.NodeID, msg transport.Message)
+
+// Subscriber identifies one downstream copy receiving this output stream.
+type Subscriber struct {
+	// Node is the machine hosting the downstream copy.
+	Node transport.NodeID
+	// Stream is the input stream name the downstream copy listens on.
+	Stream string
+	// Active controls whether data flows. Hybrid standby pre-creates
+	// inactive subscriptions ("early connection", isActive=false in the
+	// paper) so that switchover is a flag flip.
+	Active bool
+
+	acked   uint64
+	everAck bool
+}
+
+// Output is the output queue of the last PE of a subjob copy for one
+// logical stream. It is safe for concurrent use.
+type Output struct {
+	// StreamID names the logical stream. All copies of the producing subjob
+	// share it, so downstream dedup is replica-agnostic.
+	StreamID string
+
+	mu      sync.Mutex
+	send    Sender
+	buf     []element.Element // elements > floor, in seq order
+	floor   uint64            // highest trimmed (fully acked) seq
+	nextSeq uint64            // seq to assign to the next published element
+	subs    map[transport.NodeID]*Subscriber
+	onTrim  func()
+}
+
+// NewOutput creates an output queue for streamID that transmits via send.
+func NewOutput(streamID string, send Sender) *Output {
+	return &Output{
+		StreamID: streamID,
+		send:     send,
+		nextSeq:  1,
+		subs:     make(map[transport.NodeID]*Subscriber),
+	}
+}
+
+// SetOnTrim registers a callback invoked (without the queue lock held)
+// whenever trimming removes at least one element. Sweeping checkpointing
+// checkpoints the PE immediately after its output queue is trimmed.
+func (o *Output) SetOnTrim(f func()) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.onTrim = f
+}
+
+// Subscribe adds a downstream copy. If active, data published from now on
+// flows to it; its acknowledgment position starts at the current trim
+// floor, which is exactly the data a checkpoint-restored copy already has.
+func (o *Output) Subscribe(node transport.NodeID, stream string, active bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.subs[node] = &Subscriber{
+		Node:   node,
+		Stream: stream,
+		Active: active,
+		acked:  o.floor,
+	}
+}
+
+// Unsubscribe removes the downstream copy on node.
+func (o *Output) Unsubscribe(node transport.NodeID) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	delete(o.subs, node)
+}
+
+// Activate makes the subscription for node active (or inactive) and, when
+// activating, retransmits every retained element the subscriber has not
+// acknowledged. Retransmission and subsequent publishes share the queue
+// lock, so the subscriber observes a contiguous sequence.
+func (o *Output) Activate(node transport.NodeID, active bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s, ok := o.subs[node]
+	if !ok {
+		return
+	}
+	wasActive := s.Active
+	s.Active = active
+	if !active || wasActive {
+		return
+	}
+	// A newly activated standby resumes from the trim floor: everything it
+	// has not acknowledged is still retained and is replayed now.
+	if s.acked < o.floor {
+		s.acked = o.floor
+	}
+	o.transmitLocked(s, s.acked)
+}
+
+// ResetSubscriber rebinds the subscription for node to a fresh copy
+// starting at the trim floor and retransmits retained data to it. Passive
+// standby uses it when a recovered copy is deployed on a new machine.
+func (o *Output) ResetSubscriber(oldNode, newNode transport.NodeID, stream string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	delete(o.subs, oldNode)
+	s := &Subscriber{Node: newNode, Stream: stream, Active: true, acked: o.floor}
+	o.subs[newNode] = s
+	o.transmitLocked(s, s.acked)
+}
+
+// transmitLocked sends every buffered element with seq > after to s.
+func (o *Output) transmitLocked(s *Subscriber, after uint64) {
+	if len(o.buf) == 0 {
+		return
+	}
+	start := 0
+	if after > o.floor {
+		start = int(after - o.floor)
+	}
+	if start >= len(o.buf) {
+		return
+	}
+	batch := make([]element.Element, len(o.buf)-start)
+	copy(batch, o.buf[start:])
+	o.send(s.Node, transport.Message{
+		Kind:     transport.KindData,
+		Stream:   s.Stream,
+		Elements: batch,
+	})
+}
+
+// Publish appends newly produced elements, assigns their sequence numbers,
+// and transmits them to every active subscriber. It returns the elements
+// with sequence numbers filled in.
+func (o *Output) Publish(elems []element.Element) []element.Element {
+	if len(elems) == 0 {
+		return elems
+	}
+	o.mu.Lock()
+	for i := range elems {
+		elems[i].Seq = o.nextSeq
+		o.nextSeq++
+	}
+	o.buf = append(o.buf, elems...)
+	type dst struct {
+		node   transport.NodeID
+		stream string
+	}
+	var targets []dst
+	for _, s := range o.subs {
+		if s.Active {
+			targets = append(targets, dst{s.Node, s.Stream})
+		}
+	}
+	o.mu.Unlock()
+
+	for _, t := range targets {
+		batch := make([]element.Element, len(elems))
+		copy(batch, elems)
+		o.send(t.node, transport.Message{
+			Kind:     transport.KindData,
+			Stream:   t.stream,
+			Elements: batch,
+		})
+	}
+	return elems
+}
+
+// Ack records a cumulative acknowledgment from the downstream copy on node
+// and trims every element acknowledged by all active subscribers.
+func (o *Output) Ack(node transport.NodeID, seq uint64) {
+	o.mu.Lock()
+	s, ok := o.subs[node]
+	if !ok {
+		o.mu.Unlock()
+		return
+	}
+	if seq > s.acked {
+		s.acked = seq
+		s.everAck = true
+	}
+	trimmed := o.trimLocked()
+	onTrim := o.onTrim
+	o.mu.Unlock()
+	if trimmed > 0 && onTrim != nil {
+		onTrim()
+	}
+}
+
+// trimLocked removes every element acknowledged by all active subscribers
+// and returns how many were removed. Inactive (early-connection) standby
+// subscriptions do not hold back trimming: the sweeping protocol guarantees
+// their restart point equals the primary's acknowledged position.
+func (o *Output) trimLocked() int {
+	target := uint64(0)
+	first := true
+	for _, s := range o.subs {
+		if !s.Active {
+			continue
+		}
+		if first || s.acked < target {
+			target = s.acked
+			first = false
+		}
+	}
+	if first || target <= o.floor {
+		return 0
+	}
+	n := int(target - o.floor)
+	if n > len(o.buf) {
+		n = len(o.buf)
+	}
+	o.buf = append([]element.Element(nil), o.buf[n:]...)
+	o.floor += uint64(n)
+	return n
+}
+
+// Snapshot captures the queue's retained elements and sequence state for a
+// checkpoint. Subscribers are deliberately excluded: connection state is
+// re-established by the HA controller on recovery.
+func (o *Output) Snapshot() OutputSnapshot {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return OutputSnapshot{
+		StreamID: o.StreamID,
+		Floor:    o.floor,
+		NextSeq:  o.nextSeq,
+		Buf:      append([]element.Element(nil), o.buf...),
+	}
+}
+
+// Restore overwrites the queue's retained elements and sequence state from
+// a snapshot.
+func (o *Output) Restore(s OutputSnapshot) error {
+	if s.StreamID != o.StreamID {
+		return fmt.Errorf("queue: snapshot for stream %q applied to %q", s.StreamID, o.StreamID)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.floor = s.Floor
+	o.nextSeq = s.NextSeq
+	o.buf = append([]element.Element(nil), s.Buf...)
+	for _, sub := range o.subs {
+		if sub.acked < o.floor {
+			sub.acked = o.floor
+		}
+	}
+	return nil
+}
+
+// OutputSnapshot is the checkpointable state of an output queue.
+type OutputSnapshot struct {
+	StreamID string
+	Floor    uint64
+	NextSeq  uint64
+	Buf      []element.Element
+}
+
+// Len returns the number of retained (unacknowledged) elements.
+func (o *Output) Len() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.buf)
+}
+
+// Floor returns the highest trimmed sequence number.
+func (o *Output) Floor() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.floor
+}
+
+// AckedBy returns the cumulative ack position of the subscriber on node.
+func (o *Output) AckedBy(node transport.NodeID) (uint64, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s, ok := o.subs[node]
+	if !ok {
+		return 0, false
+	}
+	return s.acked, true
+}
+
+// RetransmitAll resends every retained element each active subscriber has
+// not acknowledged. Recovery paths call it after restoring a copy's output
+// queue, covering data that may have been lost in flight when its peer
+// failed; downstream deduplication absorbs any excess.
+func (o *Output) RetransmitAll() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, s := range o.subs {
+		if !s.Active {
+			continue
+		}
+		after := s.acked
+		if after < o.floor {
+			after = o.floor
+		}
+		o.transmitLocked(s, after)
+	}
+}

@@ -1,0 +1,403 @@
+package subjob
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"streamha/internal/element"
+	"streamha/internal/machine"
+	"streamha/internal/pe"
+	"streamha/internal/queue"
+	"streamha/internal/transport"
+)
+
+// PESpec describes one PE of a subjob; every copy instantiates its own
+// Logic from the factory.
+type PESpec struct {
+	Name string
+	// NewLogic constructs a fresh Logic instance for one copy.
+	NewLogic func() pe.Logic
+	// Cost is the CPU work per element.
+	Cost time.Duration
+}
+
+// Spec describes a subjob independent of any particular copy.
+type Spec struct {
+	JobID string
+	// ID is the copy-agnostic subjob identifier, e.g. "job1/sj2".
+	ID string
+	// InStreams lists the logical streams feeding the subjob.
+	InStreams []string
+	// Owners maps each input stream to the subjob ID (or the source owner
+	// name) producing it, for acknowledgment routing.
+	Owners map[string]string
+	// OutStream is the logical stream the subjob produces.
+	OutStream string
+	// PEs is the pipeline, in order.
+	PEs []PESpec
+	// BatchSize is the per-PE batch size (default 64).
+	BatchSize int
+}
+
+// AckTarget is one destination for cumulative acknowledgments of an input
+// stream: a copy of the upstream subjob owning that stream.
+type AckTarget struct {
+	Node   transport.NodeID
+	Stream string // AckStream(owner, logical)
+}
+
+// senderStaleness bounds how long a copy that stopped delivering data keeps
+// receiving acknowledgments. Acknowledgments route to the copies that
+// actually delivered data recently, so the ack plane re-wires itself across
+// switchover, rollback and migration without any control traffic.
+const senderStaleness = 2 * time.Second
+
+// Runtime is one running (or suspended) copy of a subjob on a machine.
+type Runtime struct {
+	spec Spec
+	m    *machine.Machine
+
+	in    *queue.Input
+	pes   []*pe.PE
+	pipes []*pe.Pipe
+	out   *queue.Output
+
+	// opMu serializes state-level operations: checkpoints, restores,
+	// suspend/resume and read-state snapshots. Without it a checkpoint
+	// manager's resume could unpark PEs in the middle of a controller's
+	// restore.
+	opMu sync.Mutex
+
+	mu        sync.Mutex
+	suspended bool
+	started   bool
+	stopped   bool
+	senders   map[string]map[transport.NodeID]time.Time
+}
+
+// New assembles a subjob copy on m. If startSuspended is true the copy's
+// PEs park immediately when started — the pre-deployed standby of the
+// hybrid method. Call Start to register message handlers and launch PE
+// loops.
+func New(spec Spec, m *machine.Machine, startSuspended bool) (*Runtime, error) {
+	if len(spec.PEs) == 0 {
+		return nil, fmt.Errorf("subjob %s: no PEs", spec.ID)
+	}
+	if spec.BatchSize <= 0 {
+		spec.BatchSize = 64
+	}
+	r := &Runtime{
+		spec:      spec,
+		m:         m,
+		in:        queue.NewInput(spec.InStreams...),
+		suspended: startSuspended,
+		senders:   make(map[string]map[transport.NodeID]time.Time),
+	}
+	r.out = queue.NewOutput(spec.OutStream, func(to transport.NodeID, msg transport.Message) {
+		m.Send(to, msg)
+	})
+
+	r.pipes = make([]*pe.Pipe, len(spec.PEs)-1)
+	for i := range r.pipes {
+		r.pipes[i] = pe.NewPipe()
+	}
+	r.pes = make([]*pe.PE, len(spec.PEs))
+	for i, ps := range spec.PEs {
+		var src pe.Source
+		if i == 0 {
+			src = r.in
+		} else {
+			src = r.pipes[i-1]
+		}
+		var sink pe.Sink
+		if i == len(spec.PEs)-1 {
+			sink = outputSink{r.out}
+		} else {
+			sink = r.pipes[i]
+		}
+		r.pes[i] = pe.New(pe.Config{
+			Name:      fmt.Sprintf("%s/%s", spec.ID, ps.Name),
+			Logic:     ps.NewLogic(),
+			Cost:      ps.Cost,
+			BatchSize: spec.BatchSize,
+			Executor:  m.CPU(),
+			Source:    src,
+			Sink:      sink,
+		})
+	}
+	return r, nil
+}
+
+type outputSink struct{ out *queue.Output }
+
+func (s outputSink) Push(elems []element.Element) { s.out.Publish(elems) }
+
+// Spec returns the subjob's specification.
+func (r *Runtime) Spec() Spec { return r.spec }
+
+// Machine returns the hosting machine.
+func (r *Runtime) Machine() *machine.Machine { return r.m }
+
+// Node returns the hosting machine's node ID.
+func (r *Runtime) Node() transport.NodeID { return r.m.ID() }
+
+// Out returns the subjob's output queue, for subscription wiring.
+func (r *Runtime) Out() *queue.Output { return r.out }
+
+// In returns the subjob's input queue, for wiring and tests.
+func (r *Runtime) In() *queue.Input { return r.in }
+
+// PEs returns the PE runtimes in pipeline order.
+func (r *Runtime) PEs() []*pe.PE { return r.pes }
+
+// Start registers the copy's message handlers on its machine and launches
+// the PE loops (parked if the copy was created suspended).
+func (r *Runtime) Start() {
+	r.mu.Lock()
+	if r.started || r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.started = true
+	suspended := r.suspended
+	r.mu.Unlock()
+
+	for _, s := range r.spec.InStreams {
+		logical := s
+		r.m.RegisterStream(DataStream(r.spec.ID, logical), func(from transport.NodeID, msg transport.Message) {
+			r.noteSender(logical, from)
+			r.in.Push(logical, msg.Elements)
+		})
+	}
+	r.m.RegisterStream(AckStream(r.spec.ID, r.spec.OutStream), func(from transport.NodeID, msg transport.Message) {
+		r.out.Ack(from, msg.Seq)
+	})
+
+	for _, p := range r.pes {
+		if suspended {
+			p.Pause()
+		}
+		p.Start()
+	}
+}
+
+// Stop halts the copy's PE loops and unregisters its handlers.
+func (r *Runtime) Stop() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	r.mu.Unlock()
+
+	for _, s := range r.spec.InStreams {
+		r.m.UnregisterStream(DataStream(r.spec.ID, s))
+	}
+	r.m.UnregisterStream(AckStream(r.spec.ID, r.spec.OutStream))
+	for _, p := range r.pes {
+		p.Stop()
+	}
+}
+
+// Suspend parks every PE; a suspended copy consumes no CPU. It blocks
+// until the copy is quiescent.
+func (r *Runtime) Suspend() {
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
+	r.mu.Lock()
+	r.suspended = true
+	r.mu.Unlock()
+	for _, p := range r.pes {
+		p.Pause()
+	}
+}
+
+// Resume unparks every PE. This is the fast path of the hybrid switchover:
+// the pre-deployed copy only needs its processing-loop flags reset.
+func (r *Runtime) Resume() {
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
+	r.mu.Lock()
+	r.suspended = false
+	r.mu.Unlock()
+	for _, p := range r.pes {
+		p.Resume()
+	}
+}
+
+// WithPaused runs f with every PE parked, holding the operation lock, and
+// unparks them afterwards (unless the copy is suspended). Checkpoint
+// managers use it so their pause/resume cannot interleave with recovery
+// restores.
+func (r *Runtime) WithPaused(f func()) {
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
+	r.PauseAll()
+	defer r.ResumeAll()
+	f()
+}
+
+// Exclusive runs f holding the operation lock without touching PE pause
+// state. Standby stores use it to apply checkpoint refreshes atomically
+// with respect to rollback snapshots.
+func (r *Runtime) Exclusive(f func()) {
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
+	f()
+}
+
+// SuspendAndSnapshot atomically suspends the copy and captures its state —
+// the secondary side of the hybrid rollback's read-state step.
+func (r *Runtime) SuspendAndSnapshot() *Snapshot {
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
+	r.mu.Lock()
+	r.suspended = true
+	r.mu.Unlock()
+	for _, p := range r.pes {
+		p.Pause()
+	}
+	return r.Snapshot()
+}
+
+// Suspended reports whether the copy is suspended.
+func (r *Runtime) Suspended() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.suspended
+}
+
+// PauseAll parks every PE for a checkpoint and blocks until quiescent.
+func (r *Runtime) PauseAll() {
+	for _, p := range r.pes {
+		p.Pause()
+	}
+}
+
+// ResumeAll unparks the PEs after a checkpoint unless the copy is
+// suspended, in which case it stays parked.
+func (r *Runtime) ResumeAll() {
+	r.mu.Lock()
+	suspended := r.suspended
+	r.mu.Unlock()
+	if suspended {
+		return
+	}
+	for _, p := range r.pes {
+		p.Resume()
+	}
+}
+
+// Snapshot captures the copy's checkpointable state. The copy must be
+// paused (or suspended).
+func (r *Runtime) Snapshot() *Snapshot {
+	s := &Snapshot{
+		SubjobID: r.spec.ID,
+		Consumed: r.pes[0].ConsumedPositions(),
+		PEStates: make([][]byte, len(r.pes)),
+		Pipes:    make([][]element.Element, len(r.pipes)),
+		Output:   r.out.Snapshot(),
+	}
+	for i, p := range r.pes {
+		s.PEStates[i] = p.Logic().Snapshot()
+		s.StateUnits += p.Logic().StateSize()
+	}
+	for i, pp := range r.pipes {
+		s.Pipes[i] = pp.Snapshot()
+	}
+	return s
+}
+
+// Restore overwrites the copy's state from a snapshot. The copy must be
+// paused (or suspended). The input queue is aligned to the snapshot's
+// consumption positions: elements the snapshot already covers are
+// discarded and the dedup mark raised so retransmissions are recognized.
+func (r *Runtime) Restore(s *Snapshot) error {
+	if s.SubjobID != r.spec.ID {
+		return fmt.Errorf("subjob %s: snapshot for %s", r.spec.ID, s.SubjobID)
+	}
+	if len(s.PEStates) != len(r.pes) || len(s.Pipes) != len(r.pipes) {
+		return fmt.Errorf("subjob %s: snapshot shape mismatch", r.spec.ID)
+	}
+	for i, p := range r.pes {
+		if err := p.Logic().Restore(s.PEStates[i]); err != nil {
+			return fmt.Errorf("subjob %s: restore PE %d: %w", r.spec.ID, i, err)
+		}
+	}
+	for i, pp := range r.pipes {
+		pp.Restore(s.Pipes[i])
+	}
+	if err := r.out.Restore(s.Output); err != nil {
+		return err
+	}
+	r.pes[0].SetConsumedPositions(s.Consumed)
+	r.in.SetAccepted(s.Consumed)
+	return nil
+}
+
+// noteSender remembers that node delivered data on logical, making it an
+// acknowledgment target until it goes stale.
+func (r *Runtime) noteSender(logical string, node transport.NodeID) {
+	now := r.m.Clock().Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	byNode := r.senders[logical]
+	if byNode == nil {
+		byNode = make(map[transport.NodeID]time.Time)
+		r.senders[logical] = byNode
+	}
+	byNode[node] = now
+}
+
+// ackTargets returns the current acknowledgment destinations for logical:
+// every copy of the owning subjob that delivered data recently.
+func (r *Runtime) ackTargets(logical string) []AckTarget {
+	owner := r.spec.Owners[logical]
+	stream := AckStream(owner, logical)
+	now := r.m.Clock().Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []AckTarget
+	for node, seen := range r.senders[logical] {
+		if now.Sub(seen) > senderStaleness {
+			delete(r.senders[logical], node)
+			continue
+		}
+		out = append(out, AckTarget{Node: node, Stream: stream})
+	}
+	return out
+}
+
+// AckUpstream sends cumulative acknowledgments for the given positions to
+// every upstream copy that recently delivered data on each stream.
+func (r *Runtime) AckUpstream(positions map[string]uint64) {
+	for s, seq := range positions {
+		if seq == 0 {
+			continue
+		}
+		for _, t := range r.ackTargets(s) {
+			r.m.Send(t.Node, transport.Message{
+				Kind:   transport.KindAck,
+				Stream: t.Stream,
+				Seq:    seq,
+			})
+		}
+	}
+}
+
+// ConsumedPositions returns the first PE's consumption positions.
+func (r *Runtime) ConsumedPositions() map[string]uint64 {
+	return r.pes[0].ConsumedPositions()
+}
+
+// Backlog returns the number of elements queued but not yet processed
+// inside the copy: input queue plus inter-PE pipes.
+func (r *Runtime) Backlog() int {
+	n := r.in.Len()
+	for _, p := range r.pipes {
+		n += p.Len()
+	}
+	return n
+}

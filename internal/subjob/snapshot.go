@@ -1,0 +1,67 @@
+package subjob
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"streamha/internal/element"
+	"streamha/internal/queue"
+)
+
+// Snapshot is the checkpointable state of one subjob copy, per the sweeping
+// checkpointing protocol: every PE's internal state, the inter-PE pipe
+// contents (the upstream PE's output queue in the paper's model), the final
+// output queue, and the consumption positions of the first PE. Input queue
+// contents are deliberately excluded — they are recovered by upstream
+// retransmission — which is the protocol's main overhead saving.
+type Snapshot struct {
+	SubjobID string
+	// Consumed maps each logical input stream to the highest sequence number
+	// whose processing results this snapshot covers. It becomes the
+	// cumulative acknowledgment once the snapshot is stored.
+	Consumed map[string]uint64
+	// PEStates holds each PE's Logic snapshot, in pipeline order.
+	PEStates [][]byte
+	// Pipes holds the content of each inter-PE pipe; Pipes[i] connects PE i
+	// to PE i+1.
+	Pipes [][]element.Element
+	// Input holds the input queue's unprocessed elements. Only the
+	// synchronous and individual checkpointing variants populate it;
+	// sweeping checkpointing excludes input queues (they are recovered by
+	// upstream retransmission).
+	Input []queue.In
+	// Output is the final output queue's state.
+	Output queue.OutputSnapshot
+	// StateUnits is the total internal-state size in element-equivalents.
+	StateUnits int
+}
+
+// ElementUnits returns the snapshot's size in data-element equivalents,
+// the accounting unit of the paper's overhead figures: queued elements plus
+// internal state expressed in elements.
+func (s *Snapshot) ElementUnits() int {
+	n := s.StateUnits + len(s.Output.Buf) + len(s.Input)
+	for _, p := range s.Pipes {
+		n += len(p)
+	}
+	return n
+}
+
+// Encode serializes the snapshot for a checkpoint message.
+func (s *Snapshot) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("subjob: encode snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSnapshot parses an encoded snapshot.
+func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("subjob: decode snapshot: %w", err)
+	}
+	return &s, nil
+}

@@ -1,0 +1,39 @@
+// Package subjob implements the runtime of one subjob copy: the partition
+// of a job's PEs placed on one machine, assembled as input queue → PE chain
+// (connected by pipes) → output queue, together with its checkpointable
+// snapshot and the message wiring that connects copies across machines.
+package subjob
+
+import "strings"
+
+// Stream-name helpers. Transport messages are routed to components by an
+// opaque Stream string; these helpers define the global naming convention.
+// Data and ack streams are keyed by the copy-agnostic subjob ID, so every
+// copy of a subjob listens on the same names (on its own machine) and
+// replica identity never leaks into the data plane.
+
+// DataStream names the input stream of subjob sj for the logical stream.
+func DataStream(sj, logical string) string { return "data|" + sj + "|" + logical }
+
+// AckStream names the acknowledgment stream of the subjob owning logical.
+func AckStream(owner, logical string) string { return "ack|" + owner + "|" + logical }
+
+// CkptStream names the checkpoint-store stream of subjob sj.
+func CkptStream(sj string) string { return "ckpt|" + sj }
+
+// CkptAckStream names the stream on which the checkpoint store confirms
+// storage back to subjob sj's checkpoint manager.
+func CkptAckStream(sj string) string { return "ckptack|" + sj }
+
+// CtlStream names the control stream of subjob sj's agent on one machine.
+func CtlStream(sj string) string { return "ctl|" + sj }
+
+// ReadStateStream names the stream on which a standby serves read-state
+// requests for subjob sj.
+func ReadStateStream(sj string) string { return "readstate|" + sj }
+
+// HeartbeatStream names the heartbeat responder stream of a machine.
+func HeartbeatStream(machineID string) string { return "hb|" + machineID }
+
+// ParseStream splits a stream name into its parts.
+func ParseStream(s string) []string { return strings.Split(s, "|") }

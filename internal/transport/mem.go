@@ -1,0 +1,310 @@
+package transport
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+
+	"streamha/internal/clock"
+)
+
+// MemConfig configures an in-memory network.
+type MemConfig struct {
+	// Clock is the time source for latency simulation. Defaults to the wall
+	// clock.
+	Clock clock.Clock
+	// Latency is the one-way delivery latency applied to every message.
+	// Zero delivers synchronously with Send (still FIFO per receiver).
+	Latency time.Duration
+}
+
+// Mem is an in-memory Network. Delivery is FIFO per (sender, receiver) pair:
+// messages are released by a single scheduler goroutine in (deadline, send
+// order) and handed to a per-receiver dispatch goroutine that invokes the
+// handler sequentially.
+type Mem struct {
+	cfg MemConfig
+
+	mu     sync.Mutex
+	nodes  map[NodeID]*memNode
+	down   map[NodeID]bool
+	queue  deliveryQueue
+	seq    uint64
+	wake   chan struct{}
+	closed bool
+
+	obsMu    sync.RWMutex
+	observer func(from, to NodeID, msg *Message)
+
+	stats counters
+}
+
+// SetObserver installs a hook invoked synchronously on every Send (before
+// latency and drop handling), for experiments that need per-destination
+// traffic accounting. Pass nil to remove it. The hook must be fast and
+// must not call back into the network.
+func (m *Mem) SetObserver(f func(from, to NodeID, msg *Message)) {
+	m.obsMu.Lock()
+	defer m.obsMu.Unlock()
+	m.observer = f
+}
+
+var _ Network = (*Mem)(nil)
+
+// NewMem creates an in-memory network and starts its delivery scheduler.
+// Call Close to stop it.
+func NewMem(cfg MemConfig) *Mem {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.New()
+	}
+	m := &Mem{
+		cfg:   cfg,
+		nodes: make(map[NodeID]*memNode),
+		down:  make(map[NodeID]bool),
+		wake:  make(chan struct{}, 1),
+	}
+	if cfg.Latency > 0 {
+		go m.schedule()
+	}
+	return m
+}
+
+// Register implements Network.
+func (m *Mem) Register(id NodeID, h Handler) (Endpoint, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.nodes[id]; ok {
+		return nil, ErrDuplicateNode
+	}
+	n := newMemNode(m, id, h)
+	m.nodes[id] = n
+	return n, nil
+}
+
+// SetDown implements Network.
+func (m *Mem) SetDown(id NodeID, down bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if down {
+		m.down[id] = true
+	} else {
+		delete(m.down, id)
+	}
+}
+
+// Stats implements Network.
+func (m *Mem) Stats() Stats { return m.stats.snapshot() }
+
+// Close stops the scheduler and all dispatch goroutines. Messages still in
+// flight are dropped.
+func (m *Mem) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	nodes := make([]*memNode, 0, len(m.nodes))
+	for _, n := range m.nodes {
+		nodes = append(nodes, n)
+	}
+	m.mu.Unlock()
+	m.signal()
+	for _, n := range nodes {
+		n.Close()
+	}
+}
+
+func (m *Mem) signal() {
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (m *Mem) send(from NodeID, to NodeID, msg Message) {
+	m.stats.record(&msg)
+	m.obsMu.RLock()
+	obs := m.observer
+	m.obsMu.RUnlock()
+	if obs != nil {
+		obs(from, to, &msg)
+	}
+	m.mu.Lock()
+	if m.closed || m.down[from] || m.down[to] {
+		m.mu.Unlock()
+		return
+	}
+	if m.cfg.Latency == 0 {
+		n := m.nodes[to]
+		m.mu.Unlock()
+		if n != nil {
+			n.enqueue(from, msg)
+		}
+		return
+	}
+	m.seq++
+	heap.Push(&m.queue, &pendingDelivery{
+		at:   m.cfg.Clock.Now().Add(m.cfg.Latency),
+		seq:  m.seq,
+		from: from,
+		to:   to,
+		msg:  msg,
+	})
+	m.mu.Unlock()
+	m.signal()
+}
+
+// schedule is the delivery loop used when latency is non-zero.
+func (m *Mem) schedule() {
+	for {
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		now := m.cfg.Clock.Now()
+		var wait time.Duration = -1
+		for m.queue.Len() > 0 {
+			next := m.queue[0]
+			if next.at.After(now) {
+				wait = next.at.Sub(now)
+				break
+			}
+			heap.Pop(&m.queue)
+			n := m.nodes[next.to]
+			delivered := n != nil && !m.down[next.to] && !m.down[next.from]
+			if delivered {
+				n.enqueue(next.from, next.msg)
+			}
+		}
+		m.mu.Unlock()
+		if wait < 0 {
+			<-m.wake
+			continue
+		}
+		select {
+		case <-m.wake:
+		case <-m.cfg.Clock.After(wait):
+		}
+	}
+}
+
+type pendingDelivery struct {
+	at   time.Time
+	seq  uint64
+	from NodeID
+	to   NodeID
+	msg  Message
+}
+
+type deliveryQueue []*pendingDelivery
+
+func (q deliveryQueue) Len() int { return len(q) }
+func (q deliveryQueue) Less(i, j int) bool {
+	if q[i].at.Equal(q[j].at) {
+		return q[i].seq < q[j].seq
+	}
+	return q[i].at.Before(q[j].at)
+}
+func (q deliveryQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *deliveryQueue) Push(x any)   { *q = append(*q, x.(*pendingDelivery)) }
+func (q *deliveryQueue) Pop() any {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return item
+}
+
+// memNode is one registered endpoint with an unbounded FIFO mailbox drained
+// by a dedicated dispatch goroutine, so slow handlers never block the
+// network scheduler or other receivers.
+type memNode struct {
+	net *Mem
+	id  NodeID
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	inbox  []inboxEntry
+	closed bool
+	done   chan struct{}
+}
+
+type inboxEntry struct {
+	from NodeID
+	msg  Message
+}
+
+var _ Endpoint = (*memNode)(nil)
+
+func newMemNode(net *Mem, id NodeID, h Handler) *memNode {
+	n := &memNode{net: net, id: id, done: make(chan struct{})}
+	n.cond = sync.NewCond(&n.mu)
+	go n.dispatch(h)
+	return n
+}
+
+// ID implements Endpoint.
+func (n *memNode) ID() NodeID { return n.id }
+
+// Send implements Endpoint.
+func (n *memNode) Send(to NodeID, msg Message) error {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	n.net.send(n.id, to, msg)
+	return nil
+}
+
+// Close implements Endpoint.
+func (n *memNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.cond.Broadcast()
+	n.mu.Unlock()
+
+	n.net.mu.Lock()
+	delete(n.net.nodes, n.id)
+	n.net.mu.Unlock()
+	<-n.done
+	return nil
+}
+
+func (n *memNode) enqueue(from NodeID, msg Message) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	n.inbox = append(n.inbox, inboxEntry{from: from, msg: msg})
+	n.cond.Signal()
+}
+
+func (n *memNode) dispatch(h Handler) {
+	defer close(n.done)
+	for {
+		n.mu.Lock()
+		for len(n.inbox) == 0 && !n.closed {
+			n.cond.Wait()
+		}
+		if n.closed && len(n.inbox) == 0 {
+			n.mu.Unlock()
+			return
+		}
+		batch := n.inbox
+		n.inbox = nil
+		n.mu.Unlock()
+		for _, e := range batch {
+			h(e.from, e.msg)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package transport
+
+import "sync/atomic"
+
+// Stats is a snapshot of cumulative traffic counters, broken down by message
+// kind. Element counts use Message.ElementUnits, matching the paper's
+// element-based overhead accounting.
+type Stats struct {
+	Messages map[Kind]int64
+	Elements map[Kind]int64
+}
+
+// TotalElements returns the total element units across all kinds: the
+// y-axis value of the paper's overhead figures.
+func (s Stats) TotalElements() int64 {
+	var n int64
+	for _, v := range s.Elements {
+		n += v
+	}
+	return n
+}
+
+// TotalMessages returns the total number of messages across all kinds.
+func (s Stats) TotalMessages() int64 {
+	var n int64
+	for _, v := range s.Messages {
+		n += v
+	}
+	return n
+}
+
+// DataElements returns the element units carried in data messages.
+func (s Stats) DataElements() int64 { return s.Elements[KindData] }
+
+// CheckpointElements returns the element units carried in checkpoint and
+// read-state messages.
+func (s Stats) CheckpointElements() int64 {
+	return s.Elements[KindCheckpoint] + s.Elements[KindReadStateResp]
+}
+
+// Sub returns the counter deltas s minus earlier, for measuring traffic over
+// a window.
+func (s Stats) Sub(earlier Stats) Stats {
+	out := Stats{Messages: map[Kind]int64{}, Elements: map[Kind]int64{}}
+	for k, v := range s.Messages {
+		out.Messages[k] = v - earlier.Messages[k]
+	}
+	for k, v := range s.Elements {
+		out.Elements[k] = v - earlier.Elements[k]
+	}
+	return out
+}
+
+// counters accumulates traffic with atomics so the hot send path never
+// contends on a lock.
+type counters struct {
+	messages [KindControl + 1]atomic.Int64
+	elements [KindControl + 1]atomic.Int64
+}
+
+func (c *counters) record(m *Message) {
+	k := m.Kind
+	if k < 0 || int(k) >= len(c.messages) {
+		k = KindInvalid
+	}
+	c.messages[k].Add(1)
+	if n := m.ElementUnits(); n > 0 {
+		c.elements[k].Add(int64(n))
+	}
+}
+
+func (c *counters) snapshot() Stats {
+	s := Stats{Messages: map[Kind]int64{}, Elements: map[Kind]int64{}}
+	for k := KindInvalid; k <= KindControl; k++ {
+		if n := c.messages[k].Load(); n != 0 {
+			s.Messages[k] = n
+		}
+		if n := c.elements[k].Load(); n != 0 {
+			s.Elements[k] = n
+		}
+	}
+	return s
+}

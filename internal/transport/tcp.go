@@ -1,0 +1,381 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCPConfig configures a TCP network segment: the nodes hosted by this
+// process and the addresses of every peer process.
+type TCPConfig struct {
+	// Listen is the address this process accepts peer connections on
+	// (e.g. ":7001"). Empty disables listening (send-only process).
+	Listen string
+	// Peers maps remote node IDs to the listen addresses of the processes
+	// hosting them. Nodes registered locally do not need entries.
+	Peers map[NodeID]string
+}
+
+// TCP implements Network over real sockets for genuine multi-process
+// deployments. Each process hosts one or more nodes; messages to local
+// nodes loop back in-process, messages to remote nodes travel over one
+// persistent gob-encoded connection per destination process.
+//
+// Delivery semantics match the in-memory network: FIFO per (sender,
+// receiver) pair while a connection lasts, and silent drop when the
+// destination is unreachable or down — stream-level retransmission
+// recovers the data, exactly as it does after a machine crash.
+type TCP struct {
+	cfg TCPConfig
+
+	mu       sync.Mutex
+	locals   map[NodeID]*tcpEndpoint
+	down     map[NodeID]bool
+	outbound map[string]*tcpConn // peer address -> connection
+	listener net.Listener
+	closed   bool
+	wg       sync.WaitGroup
+
+	stats counters
+}
+
+var _ Network = (*TCP)(nil)
+
+// tcpFrame is the wire unit.
+type tcpFrame struct {
+	From NodeID
+	To   NodeID
+	Msg  Message
+}
+
+// NewTCP creates a TCP network segment and, if configured, starts
+// listening. Call Close to stop.
+func NewTCP(cfg TCPConfig) (*TCP, error) {
+	t := &TCP{
+		cfg:      cfg,
+		locals:   make(map[NodeID]*tcpEndpoint),
+		down:     make(map[NodeID]bool),
+		outbound: make(map[string]*tcpConn),
+	}
+	if cfg.Listen != "" {
+		ln, err := net.Listen("tcp", cfg.Listen)
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
+		}
+		t.listener = ln
+		t.wg.Add(1)
+		go t.accept()
+	}
+	return t, nil
+}
+
+// Addr returns the actual listen address (useful with ":0").
+func (t *TCP) Addr() string {
+	if t.listener == nil {
+		return ""
+	}
+	return t.listener.Addr().String()
+}
+
+// Register implements Network for a node hosted by this process.
+func (t *TCP) Register(id NodeID, h Handler) (Endpoint, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := t.locals[id]; ok {
+		return nil, ErrDuplicateNode
+	}
+	ep := newTCPEndpoint(t, id, h)
+	t.locals[id] = ep
+	return ep, nil
+}
+
+// SetDown implements Network for locally hosted nodes.
+func (t *TCP) SetDown(id NodeID, down bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if down {
+		t.down[id] = true
+	} else {
+		delete(t.down, id)
+	}
+}
+
+// Stats implements Network.
+func (t *TCP) Stats() Stats { return t.stats.snapshot() }
+
+// Close stops the listener, closes every connection and endpoint.
+func (t *TCP) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	ln := t.listener
+	conns := make([]*tcpConn, 0, len(t.outbound))
+	for _, c := range t.outbound {
+		conns = append(conns, c)
+	}
+	eps := make([]*tcpEndpoint, 0, len(t.locals))
+	for _, ep := range t.locals {
+		eps = append(eps, ep)
+	}
+	t.mu.Unlock()
+
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, c := range conns {
+		c.close()
+	}
+	for _, ep := range eps {
+		_ = ep.Close()
+	}
+	t.wg.Wait()
+}
+
+func (t *TCP) accept() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return
+		}
+		t.wg.Add(1)
+		go t.serve(conn)
+	}
+}
+
+// serve decodes inbound frames and dispatches them to local endpoints.
+func (t *TCP) serve(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	for {
+		var f tcpFrame
+		if err := dec.Decode(&f); err != nil {
+			return
+		}
+		t.deliverLocal(f.From, f.To, f.Msg)
+	}
+}
+
+func (t *TCP) deliverLocal(from, to NodeID, msg Message) {
+	t.mu.Lock()
+	ep := t.locals[to]
+	blocked := t.down[to] || t.down[from]
+	t.mu.Unlock()
+	if ep == nil || blocked {
+		return
+	}
+	ep.enqueue(from, msg)
+}
+
+// send routes a message: loopback for local destinations, socket for
+// remote ones, silent drop for unknown or unreachable destinations.
+func (t *TCP) send(from NodeID, to NodeID, msg Message) {
+	t.stats.record(&msg)
+	t.mu.Lock()
+	if t.closed || t.down[from] || t.down[to] {
+		t.mu.Unlock()
+		return
+	}
+	if _, ok := t.locals[to]; ok {
+		t.mu.Unlock()
+		t.deliverLocal(from, to, msg)
+		return
+	}
+	addr, ok := t.cfg.Peers[to]
+	if !ok {
+		t.mu.Unlock()
+		return
+	}
+	c := t.outbound[addr]
+	if c == nil {
+		c = newTCPConn(addr)
+		t.outbound[addr] = c
+	}
+	t.mu.Unlock()
+	c.write(tcpFrame{From: from, To: to, Msg: msg})
+}
+
+// tcpConn is one lazily-dialed persistent outbound connection with a
+// writer goroutine, so senders never block on the socket.
+type tcpConn struct {
+	addr string
+
+	mu     sync.Mutex
+	queue  []tcpFrame
+	cond   *sync.Cond
+	closed bool
+	done   chan struct{}
+}
+
+// outboundQueueCap bounds buffered frames per peer; beyond it the oldest
+// are dropped, mirroring a congested link.
+const outboundQueueCap = 4096
+
+func newTCPConn(addr string) *tcpConn {
+	c := &tcpConn{addr: addr, done: make(chan struct{})}
+	c.cond = sync.NewCond(&c.mu)
+	go c.writer()
+	return c
+}
+
+func (c *tcpConn) write(f tcpFrame) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	if len(c.queue) >= outboundQueueCap {
+		c.queue = c.queue[1:]
+	}
+	c.queue = append(c.queue, f)
+	c.cond.Signal()
+}
+
+func (c *tcpConn) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.cond.Broadcast()
+}
+
+func (c *tcpConn) writer() {
+	defer close(c.done)
+	var conn net.Conn
+	var enc *gob.Encoder
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		c.mu.Lock()
+		for len(c.queue) == 0 && !c.closed {
+			c.cond.Wait()
+		}
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		batch := c.queue
+		c.queue = nil
+		c.mu.Unlock()
+
+		for _, f := range batch {
+			if conn == nil {
+				var err error
+				conn, err = net.Dial("tcp", c.addr)
+				if err != nil {
+					conn = nil
+					continue // drop the frame: destination unreachable
+				}
+				enc = gob.NewEncoder(conn)
+			}
+			if err := enc.Encode(&f); err != nil {
+				conn.Close()
+				conn, enc = nil, nil
+			}
+		}
+	}
+}
+
+// tcpEndpoint is a locally hosted node on a TCP segment.
+type tcpEndpoint struct {
+	net *TCP
+	id  NodeID
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	inbox  []inboxEntry
+	closed bool
+	done   chan struct{}
+}
+
+var _ Endpoint = (*tcpEndpoint)(nil)
+
+func newTCPEndpoint(net *TCP, id NodeID, h Handler) *tcpEndpoint {
+	ep := &tcpEndpoint{net: net, id: id, done: make(chan struct{})}
+	ep.cond = sync.NewCond(&ep.mu)
+	go ep.dispatch(h)
+	return ep
+}
+
+// ID implements Endpoint.
+func (ep *tcpEndpoint) ID() NodeID { return ep.id }
+
+// Send implements Endpoint.
+func (ep *tcpEndpoint) Send(to NodeID, msg Message) error {
+	ep.mu.Lock()
+	closed := ep.closed
+	ep.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	ep.net.send(ep.id, to, msg)
+	return nil
+}
+
+// Close implements Endpoint.
+func (ep *tcpEndpoint) Close() error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil
+	}
+	ep.closed = true
+	ep.cond.Broadcast()
+	ep.mu.Unlock()
+
+	ep.net.mu.Lock()
+	delete(ep.net.locals, ep.id)
+	ep.net.mu.Unlock()
+	<-ep.done
+	return nil
+}
+
+func (ep *tcpEndpoint) enqueue(from NodeID, msg Message) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return
+	}
+	ep.inbox = append(ep.inbox, inboxEntry{from: from, msg: msg})
+	ep.cond.Signal()
+}
+
+func (ep *tcpEndpoint) dispatch(h Handler) {
+	defer close(ep.done)
+	for {
+		ep.mu.Lock()
+		for len(ep.inbox) == 0 && !ep.closed {
+			ep.cond.Wait()
+		}
+		if ep.closed && len(ep.inbox) == 0 {
+			ep.mu.Unlock()
+			return
+		}
+		batch := ep.inbox
+		ep.inbox = nil
+		ep.mu.Unlock()
+		for _, e := range batch {
+			h(e.from, e.msg)
+		}
+	}
+}
+
+// ErrNoRoute reports an unroutable destination (currently unused: sends
+// drop silently for symmetry with machine failures, but callers who need
+// strict routing can consult it).
+var ErrNoRoute = errors.New("transport: no route to node")

@@ -1,0 +1,187 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"streamha/internal/element"
+)
+
+func TestTCPLoopbackDelivery(t *testing.T) {
+	seg, err := NewTCP(TCPConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	var c collector
+	if _, err := seg.Register("dst", c.handle); err != nil {
+		t.Fatal(err)
+	}
+	src, err := seg.Register("src", func(NodeID, Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Send("dst", Message{Kind: KindData, Elements: make([]element.Element, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	got := c.waitFor(t, 1)
+	if len(got[0].Elements) != 2 {
+		t.Fatalf("payload %+v", got[0])
+	}
+}
+
+func TestTCPCrossSegmentDelivery(t *testing.T) {
+	// Segment B hosts the receiver.
+	segB, err := NewTCP(TCPConfig{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer segB.Close()
+	var c collector
+	if _, err := segB.Register("b-node", c.handle); err != nil {
+		t.Fatal(err)
+	}
+
+	// Segment A knows where b-node lives.
+	segA, err := NewTCP(TCPConfig{Peers: map[NodeID]string{"b-node": segB.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer segA.Close()
+	src, err := segA.Register("a-node", func(NodeID, Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 1; i <= 50; i++ {
+		if err := src.Send("b-node", Message{Kind: KindAck, Stream: "s", Seq: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.waitFor(t, 50)
+	for i, m := range got {
+		if m.Seq != uint64(i+1) {
+			t.Fatalf("frame %d has seq %d: reordering over TCP", i, m.Seq)
+		}
+	}
+	c.mu.Lock()
+	from := c.from[0]
+	c.mu.Unlock()
+	if from != "a-node" {
+		t.Fatalf("sender identity %q lost", from)
+	}
+}
+
+func TestTCPRoundTripDataElements(t *testing.T) {
+	segB, err := NewTCP(TCPConfig{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer segB.Close()
+	var c collector
+	if _, err := segB.Register("b", c.handle); err != nil {
+		t.Fatal(err)
+	}
+	segA, err := NewTCP(TCPConfig{Peers: map[NodeID]string{"b": segB.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer segA.Close()
+	src, _ := segA.Register("a", func(NodeID, Message) {})
+	want := []element.Element{{ID: 1, Seq: 1, Origin: 12345, Payload: -9}}
+	_ = src.Send("b", Message{Kind: KindData, Stream: "str", Elements: want})
+	got := c.waitFor(t, 1)
+	if got[0].Elements[0] != want[0] || got[0].Stream != "str" {
+		t.Fatalf("round trip %+v", got[0])
+	}
+}
+
+func TestTCPUnknownDestinationDropsSilently(t *testing.T) {
+	seg, err := NewTCP(TCPConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	src, _ := seg.Register("a", func(NodeID, Message) {})
+	if err := src.Send("nowhere", Message{Kind: KindData}); err != nil {
+		t.Fatalf("got %v, want silent drop", err)
+	}
+}
+
+func TestTCPUnreachablePeerDropsSilently(t *testing.T) {
+	seg, err := NewTCP(TCPConfig{Peers: map[NodeID]string{"b": "127.0.0.1:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	src, _ := seg.Register("a", func(NodeID, Message) {})
+	for i := 0; i < 10; i++ {
+		_ = src.Send("b", Message{Kind: KindPing})
+	}
+	time.Sleep(50 * time.Millisecond) // writer drains and drops without panicking
+}
+
+func TestTCPSetDownBlocksLocalDelivery(t *testing.T) {
+	seg, err := NewTCP(TCPConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	var c collector
+	if _, err := seg.Register("dst", c.handle); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := seg.Register("src", func(NodeID, Message) {})
+	seg.SetDown("dst", true)
+	_ = src.Send("dst", Message{Kind: KindData})
+	time.Sleep(20 * time.Millisecond)
+	if c.count() != 0 {
+		t.Fatal("down node received")
+	}
+	seg.SetDown("dst", false)
+	_ = src.Send("dst", Message{Kind: KindData})
+	c.waitFor(t, 1)
+}
+
+func TestTCPStatsCount(t *testing.T) {
+	seg, err := NewTCP(TCPConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	if _, err := seg.Register("b", func(NodeID, Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := seg.Register("a", func(NodeID, Message) {})
+	_ = src.Send("b", Message{Kind: KindData, Elements: make([]element.Element, 4)})
+	if got := seg.Stats().DataElements(); got != 4 {
+		t.Fatalf("stats %d", got)
+	}
+}
+
+func TestTCPDuplicateRegistration(t *testing.T) {
+	seg, err := NewTCP(TCPConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	if _, err := seg.Register("x", func(NodeID, Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seg.Register("x", func(NodeID, Message) {}); err != ErrDuplicateNode {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestTCPClosedEndpointSend(t *testing.T) {
+	seg, err := NewTCP(TCPConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	src, _ := seg.Register("a", func(NodeID, Message) {})
+	_ = src.Close()
+	if err := src.Send("b", Message{}); err != ErrClosed {
+		t.Fatalf("got %v", err)
+	}
+}
