@@ -1,0 +1,38 @@
+package streamha_test
+
+// Data-plane throughput microbenchmarks. Unlike the BenchmarkFig* harness,
+// which reproduces the paper's figures end to end, these isolate the hot
+// send/publish/trim path so regressions in the data plane show up directly
+// in elements/s and allocs/op:
+//
+//	go test -bench=BenchmarkThroughput -benchmem
+//
+// The publish benchmarks drive an output queue over a real transport
+// (in-memory or TCP loopback) with 1–8 active subscribers; the ack/trim
+// benchmark keeps a retained window and measures the cost of cumulative
+// trimming. The benchmark bodies live in internal/experiment/throughput.go
+// so that streamha-bench -fig throughput measures exactly the same code and
+// prints the results as a table.
+
+import (
+	"fmt"
+	"testing"
+
+	"streamha/internal/experiment"
+)
+
+func BenchmarkThroughputPublish(b *testing.B) {
+	for _, subs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("mem-subs-%d", subs), func(b *testing.B) {
+			experiment.BenchPublishMem(b, subs)
+		})
+	}
+}
+
+func BenchmarkThroughputAckTrim(b *testing.B) {
+	experiment.BenchAckTrim(b)
+}
+
+func BenchmarkThroughputPublishTCP(b *testing.B) {
+	experiment.BenchPublishTCP(b)
+}

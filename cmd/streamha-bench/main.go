@@ -8,7 +8,8 @@
 //	streamha-bench -fig 7 -quick      # reduced sweep for a fast look
 //
 // Figures: 1, 2 (covers 3), 4, 5, 6, 7, 8, 9 (covers 10), 11, 12 (covers
-// 13), plus "sweeping" (Section III) and "ablation" (Section IV-B).
+// 13), plus "sweeping" (Section III), "ablation" (Section IV-B) and
+// "throughput" (data-plane publish/ack/trim microbenchmarks).
 package main
 
 import (
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1,2,4,5,6,7,8,9,11,12,sweeping,ablation or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1,2,4,5,6,7,8,9,11,12,sweeping,ablation,throughput or all")
 	quick := flag.Bool("quick", false, "reduced sweeps and repeats for a fast look")
 	flag.Parse()
 
@@ -181,9 +182,15 @@ func run(fig string, quick bool) error {
 		show(r.Table(), time.Since(start))
 	}
 
+	if want("throughput") {
+		start := time.Now()
+		r := experiment.RunThroughput()
+		show(r.Table(), time.Since(start))
+	}
+
 	if !ran {
 		return fmt.Errorf("unknown figure %q (try: %s)", fig,
-			strings.Join([]string{"1", "2", "4", "5", "6", "7", "8", "9", "11", "12", "sweeping", "ablation", "all"}, ", "))
+			strings.Join([]string{"1", "2", "4", "5", "6", "7", "8", "9", "11", "12", "sweeping", "ablation", "throughput", "all"}, ", "))
 	}
 	return nil
 }

@@ -118,4 +118,7 @@ func main() {
 	fmt.Printf("    switchovers=%d rollbacks=%d promotions=%d\n",
 		len(g.Hybrid.Switches()), len(g.Hybrid.Rollbacks()), len(g.Hybrid.Promotions()))
 	fmt.Printf("    duplicates eliminated=%d, sequence gaps=%d (must be 0: no loss)\n", dups, gaps)
+	st := cl.Stats()
+	fmt.Printf("    network traffic: %d messages, %d element-units (%d data, %d checkpoint)\n",
+		st.TotalMessages(), st.TotalElements(), st.DataElements(), st.CheckpointElements())
 }

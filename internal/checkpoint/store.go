@@ -28,7 +28,10 @@ const DefaultDiskLatency = 800 * time.Microsecond
 // Store holds the latest checkpoint of one subjob on a secondary machine
 // and confirms each stored checkpoint back to the checkpoint manager.
 // Passive standby reads the stored snapshot when deploying a recovery
-// copy.
+// copy. When checkpoints arrive faster than they can be decoded, the
+// backlog is coalesced: each cumulative checkpoint subsumes the older
+// ones, so only the newest pending snapshot is decoded while every
+// received checkpoint is still acknowledged.
 type Store struct {
 	m           *machine.Machine
 	sjID        string
@@ -75,18 +78,43 @@ func NewStore(m *machine.Machine, sjID string, backend StoreBackend, diskLatency
 
 func (s *Store) run() {
 	defer close(s.done)
+	// batch is the drained backlog, recycled between rounds.
+	var batch []storeReq
 	for {
 		select {
 		case <-s.stop:
 			return
 		case req := <-s.work:
-			s.store(req)
+			batch = append(batch[:0], req)
+			// Coalesce a backlog: only the newest checkpoint in the batch is
+			// worth decoding — each cumulative checkpoint subsumes the older
+			// ones — but every received checkpoint is still acknowledged so
+			// the manager can release upstream trims.
+		drain:
+			for {
+				select {
+				case more := <-s.work:
+					batch = append(batch, more)
+				default:
+					break drain
+				}
+			}
+			s.store(batch)
+			for i := range batch {
+				batch[i] = storeReq{}
+			}
 		}
 	}
 }
 
-func (s *Store) store(req storeReq) {
-	snap, err := subjob.DecodeSnapshot(req.msg.State)
+func (s *Store) store(batch []storeReq) {
+	newest := 0
+	for i := range batch {
+		if batch[i].msg.Seq > batch[newest].msg.Seq {
+			newest = i
+		}
+	}
+	snap, err := subjob.DecodeSnapshot(batch[newest].msg.State)
 	if err != nil {
 		return
 	}
@@ -94,18 +122,20 @@ func (s *Store) store(req storeReq) {
 		s.m.CPU().Execute(s.diskLatency)
 	}
 	s.mu.Lock()
-	if req.msg.Seq > s.seq {
-		s.seq = req.msg.Seq
+	if batch[newest].msg.Seq > s.seq {
+		s.seq = batch[newest].msg.Seq
 		s.latest = snap
 	}
 	s.stored++
 	s.mu.Unlock()
-	s.m.Send(req.from, transport.Message{
-		Kind:    transport.KindControl,
-		Stream:  subjob.CkptAckStream(s.sjID),
-		Command: "ckpt-stored",
-		Seq:     req.msg.Seq,
-	})
+	for i := range batch {
+		s.m.Send(batch[i].from, transport.Message{
+			Kind:    transport.KindControl,
+			Stream:  subjob.CkptAckStream(s.sjID),
+			Command: "ckpt-stored",
+			Seq:     batch[i].msg.Seq,
+		})
+	}
 }
 
 // Latest returns the most recent stored snapshot, or false if none.

@@ -60,6 +60,19 @@ func Decode(b []byte) (Element, error) {
 	}, nil
 }
 
+// CloneBatch returns an independent copy of a batch. The data plane shares
+// published batches across subscribers without copying (see the queue
+// package's ownership rules); a consumer that needs to mutate or retain a
+// batch beyond its handler takes a copy-on-write clone with this helper.
+func CloneBatch(elems []Element) []Element {
+	if len(elems) == 0 {
+		return nil
+	}
+	out := make([]Element, len(elems))
+	copy(out, elems)
+	return out
+}
+
 // DeriveID deterministically derives the logical ID of the i-th output
 // element produced while processing the input element with ID parent.
 //

@@ -62,7 +62,10 @@ func (p *Pipe) TryPop(max int) []queue.In {
 	for i := 0; i < n; i++ {
 		out[i] = queue.In{Elem: p.buf[i]}
 	}
-	p.buf = append([]element.Element(nil), p.buf[n:]...)
+	// Compact in place: the survivors slide to the front of the same
+	// backing array instead of reallocating it on every pop.
+	k := copy(p.buf, p.buf[n:])
+	p.buf = p.buf[:k]
 	return out
 }
 
@@ -70,13 +73,13 @@ func (p *Pipe) TryPop(max int) []queue.In {
 func (p *Pipe) Snapshot() []element.Element {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return append([]element.Element(nil), p.buf...)
+	return element.CloneBatch(p.buf)
 }
 
 // Restore replaces the pipe's content from a checkpoint.
 func (p *Pipe) Restore(elems []element.Element) {
 	p.mu.Lock()
-	p.buf = append([]element.Element(nil), elems...)
+	p.buf = append(p.buf[:0], elems...)
 	n := len(p.buf)
 	p.mu.Unlock()
 	if n > 0 {

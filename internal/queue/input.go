@@ -112,7 +112,10 @@ func (q *Input) TryPop(max int) []In {
 	}
 	out := make([]In, n)
 	copy(out, q.buf[:n])
-	q.buf = append([]In(nil), q.buf[n:]...)
+	// Compact in place: the survivors slide to the front of the same
+	// backing array instead of reallocating it on every pop.
+	k := copy(q.buf, q.buf[n:])
+	q.buf = q.buf[:k]
 	return out
 }
 

@@ -11,6 +11,19 @@
 // retransmitted. Input queues deduplicate by (logical stream, sequence
 // number), which simultaneously handles active-standby duplicate delivery
 // and post-recovery retransmission.
+//
+// # Batch ownership
+//
+// Publish takes ownership of the batch slice passed to it: the queue
+// stamps sequence numbers into it and then shares that same slice, without
+// copying, as the payload of the data message sent to every active
+// subscriber (retention uses a separate internal copy, so retransmission
+// never reads the caller's slice). Callers must therefore hand Publish a
+// batch they will neither mutate nor reuse afterwards; reading it — e.g.
+// to inspect the assigned sequence numbers via Publish's return value — is
+// fine. Symmetrically, message handlers must treat received element slices
+// as immutable, since every subscriber of a stream observes the same
+// backing array.
 package queue
 
 import (
@@ -36,8 +49,13 @@ type Subscriber struct {
 	// paper) so that switchover is a flag flip.
 	Active bool
 
-	acked   uint64
-	everAck bool
+	acked uint64
+}
+
+// dst is one fan-out destination of a publish.
+type dst struct {
+	node   transport.NodeID
+	stream string
 }
 
 // Output is the output queue of the last PE of a subjob copy for one
@@ -49,11 +67,16 @@ type Output struct {
 
 	mu      sync.Mutex
 	send    Sender
-	buf     []element.Element // elements > floor, in seq order
-	floor   uint64            // highest trimmed (fully acked) seq
-	nextSeq uint64            // seq to assign to the next published element
+	buf     ring   // elements > floor, in seq order
+	floor   uint64 // highest trimmed (fully acked) seq
+	nextSeq uint64 // seq to assign to the next published element
 	subs    map[transport.NodeID]*Subscriber
-	onTrim  func()
+	// active is an immutable snapshot of the active fan-out destinations,
+	// rebuilt whenever subscriptions change. Publish reads the slice header
+	// under the lock and iterates it outside the lock, so the hot path
+	// neither allocates nor holds the lock during sends.
+	active []dst
+	onTrim func()
 }
 
 // NewOutput creates an output queue for streamID that transmits via send.
@@ -75,6 +98,20 @@ func (o *Output) SetOnTrim(f func()) {
 	o.onTrim = f
 }
 
+// rebuildActiveLocked recomputes the immutable fan-out snapshot. Called
+// under the lock whenever subscription state changes; the old slice is
+// never mutated, so a Publish that captured it keeps iterating a
+// consistent view.
+func (o *Output) rebuildActiveLocked() {
+	active := make([]dst, 0, len(o.subs))
+	for _, s := range o.subs {
+		if s.Active {
+			active = append(active, dst{s.Node, s.Stream})
+		}
+	}
+	o.active = active
+}
+
 // Subscribe adds a downstream copy. If active, data published from now on
 // flows to it; its acknowledgment position starts at the current trim
 // floor, which is exactly the data a checkpoint-restored copy already has.
@@ -87,6 +124,7 @@ func (o *Output) Subscribe(node transport.NodeID, stream string, active bool) {
 		Active: active,
 		acked:  o.floor,
 	}
+	o.rebuildActiveLocked()
 }
 
 // Unsubscribe removes the downstream copy on node.
@@ -94,6 +132,7 @@ func (o *Output) Unsubscribe(node transport.NodeID) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	delete(o.subs, node)
+	o.rebuildActiveLocked()
 }
 
 // Activate makes the subscription for node active (or inactive) and, when
@@ -109,6 +148,7 @@ func (o *Output) Activate(node transport.NodeID, active bool) {
 	}
 	wasActive := s.Active
 	s.Active = active
+	o.rebuildActiveLocked()
 	if !active || wasActive {
 		return
 	}
@@ -129,33 +169,38 @@ func (o *Output) ResetSubscriber(oldNode, newNode transport.NodeID, stream strin
 	delete(o.subs, oldNode)
 	s := &Subscriber{Node: newNode, Stream: stream, Active: true, acked: o.floor}
 	o.subs[newNode] = s
+	o.rebuildActiveLocked()
 	o.transmitLocked(s, s.acked)
 }
 
-// transmitLocked sends every buffered element with seq > after to s.
+// transmitLocked sends every buffered element with seq > after to s. The
+// batch is copied out of the ring: retained slots are overwritten in place
+// as the ring wraps, so in-flight messages must not alias them.
 func (o *Output) transmitLocked(s *Subscriber, after uint64) {
-	if len(o.buf) == 0 {
+	if o.buf.len() == 0 {
 		return
 	}
 	start := 0
 	if after > o.floor {
 		start = int(after - o.floor)
 	}
-	if start >= len(o.buf) {
+	if start >= o.buf.len() {
 		return
 	}
-	batch := make([]element.Element, len(o.buf)-start)
-	copy(batch, o.buf[start:])
 	o.send(s.Node, transport.Message{
 		Kind:     transport.KindData,
 		Stream:   s.Stream,
-		Elements: batch,
+		Elements: o.buf.slice(start),
 	})
 }
 
 // Publish appends newly produced elements, assigns their sequence numbers,
 // and transmits them to every active subscriber. It returns the elements
 // with sequence numbers filled in.
+//
+// Publish takes ownership of elems (see the package comment): the slice is
+// shared as the payload of every outgoing data message, so the caller must
+// not mutate or reuse it after the call. Retention uses an internal copy.
 func (o *Output) Publish(elems []element.Element) []element.Element {
 	if len(elems) == 0 {
 		return elems
@@ -165,26 +210,15 @@ func (o *Output) Publish(elems []element.Element) []element.Element {
 		elems[i].Seq = o.nextSeq
 		o.nextSeq++
 	}
-	o.buf = append(o.buf, elems...)
-	type dst struct {
-		node   transport.NodeID
-		stream string
-	}
-	var targets []dst
-	for _, s := range o.subs {
-		if s.Active {
-			targets = append(targets, dst{s.Node, s.Stream})
-		}
-	}
+	o.buf.append(elems)
+	targets := o.active
 	o.mu.Unlock()
 
 	for _, t := range targets {
-		batch := make([]element.Element, len(elems))
-		copy(batch, elems)
 		o.send(t.node, transport.Message{
 			Kind:     transport.KindData,
 			Stream:   t.stream,
-			Elements: batch,
+			Elements: elems,
 		})
 	}
 	return elems
@@ -201,7 +235,6 @@ func (o *Output) Ack(node transport.NodeID, seq uint64) {
 	}
 	if seq > s.acked {
 		s.acked = seq
-		s.everAck = true
 	}
 	trimmed := o.trimLocked()
 	onTrim := o.onTrim
@@ -214,7 +247,9 @@ func (o *Output) Ack(node transport.NodeID, seq uint64) {
 // trimLocked removes every element acknowledged by all active subscribers
 // and returns how many were removed. Inactive (early-connection) standby
 // subscriptions do not hold back trimming: the sweeping protocol guarantees
-// their restart point equals the primary's acknowledged position.
+// their restart point equals the primary's acknowledged position. Trimming
+// advances the ring's head — O(1) regardless of how many elements remain
+// retained.
 func (o *Output) trimLocked() int {
 	target := uint64(0)
 	first := true
@@ -231,10 +266,10 @@ func (o *Output) trimLocked() int {
 		return 0
 	}
 	n := int(target - o.floor)
-	if n > len(o.buf) {
-		n = len(o.buf)
+	if n > o.buf.len() {
+		n = o.buf.len()
 	}
-	o.buf = append([]element.Element(nil), o.buf[n:]...)
+	o.buf.trim(n)
 	o.floor += uint64(n)
 	return n
 }
@@ -249,7 +284,7 @@ func (o *Output) Snapshot() OutputSnapshot {
 		StreamID: o.StreamID,
 		Floor:    o.floor,
 		NextSeq:  o.nextSeq,
-		Buf:      append([]element.Element(nil), o.buf...),
+		Buf:      o.buf.slice(0),
 	}
 }
 
@@ -263,7 +298,7 @@ func (o *Output) Restore(s OutputSnapshot) error {
 	defer o.mu.Unlock()
 	o.floor = s.Floor
 	o.nextSeq = s.NextSeq
-	o.buf = append([]element.Element(nil), s.Buf...)
+	o.buf.reset(s.Buf)
 	for _, sub := range o.subs {
 		if sub.acked < o.floor {
 			sub.acked = o.floor
@@ -284,7 +319,7 @@ type OutputSnapshot struct {
 func (o *Output) Len() int {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	return len(o.buf)
+	return o.buf.len()
 }
 
 // Floor returns the highest trimmed sequence number.

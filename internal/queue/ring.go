@@ -1,0 +1,125 @@
+package queue
+
+import "streamha/internal/element"
+
+// ring is a growable circular buffer of elements. It backs the output
+// queue's retained-element window, where the access pattern is append at
+// the tail, trim at the head, and occasional range reads for
+// retransmission. A ring makes trimming O(1) — the head index advances —
+// where a slice-backed buffer pays a full copy of the surviving elements
+// on every cumulative-ack trim.
+//
+// Elements contain no pointers, so trimmed slots do not need to be zeroed
+// for the garbage collector; stale values are simply overwritten when the
+// tail wraps around.
+type ring struct {
+	buf  []element.Element
+	head int // index of the logically first element
+	n    int // number of live elements
+}
+
+// ringMinCap is the initial capacity on first append.
+const ringMinCap = 16
+
+// len returns the number of live elements.
+func (r *ring) len() int { return r.n }
+
+// grow ensures capacity for m more elements, linearizing into a larger
+// backing array when needed. Capacity doubles, so appends are amortized
+// O(1).
+func (r *ring) grow(m int) {
+	need := r.n + m
+	if need <= len(r.buf) {
+		return
+	}
+	newCap := len(r.buf) * 2
+	if newCap < ringMinCap {
+		newCap = ringMinCap
+	}
+	for newCap < need {
+		newCap *= 2
+	}
+	nb := make([]element.Element, newCap)
+	r.copyRange(nb[:r.n], 0)
+	r.buf = nb
+	r.head = 0
+}
+
+// append adds elems at the tail, growing if needed.
+func (r *ring) append(elems []element.Element) {
+	if len(elems) == 0 {
+		return
+	}
+	r.grow(len(elems))
+	tail := r.head + r.n
+	if tail >= len(r.buf) {
+		tail -= len(r.buf)
+	}
+	first := copy(r.buf[tail:], elems)
+	if first < len(elems) {
+		copy(r.buf, elems[first:])
+	}
+	r.n += len(elems)
+}
+
+// trim discards k elements from the head. k beyond the live count clears
+// the ring.
+func (r *ring) trim(k int) {
+	if k >= r.n {
+		r.head = 0
+		r.n = 0
+		return
+	}
+	r.head += k
+	if r.head >= len(r.buf) {
+		r.head -= len(r.buf)
+	}
+	r.n -= k
+}
+
+// at returns the element at logical index i (0 is the head). Callers must
+// keep i < r.n.
+func (r *ring) at(i int) element.Element {
+	j := r.head + i
+	if j >= len(r.buf) {
+		j -= len(r.buf)
+	}
+	return r.buf[j]
+}
+
+// copyRange copies the logical range [from, from+len(dst)) into dst, which
+// must not extend past the live count.
+func (r *ring) copyRange(dst []element.Element, from int) {
+	if len(dst) == 0 {
+		return
+	}
+	start := r.head + from
+	if start >= len(r.buf) {
+		start -= len(r.buf)
+	}
+	n := copy(dst, r.buf[start:])
+	if n < len(dst) {
+		copy(dst[n:], r.buf)
+	}
+}
+
+// slice returns a fresh slice holding the logical range [from, r.n).
+func (r *ring) slice(from int) []element.Element {
+	if from >= r.n {
+		return nil
+	}
+	out := make([]element.Element, r.n-from)
+	r.copyRange(out, from)
+	return out
+}
+
+// reset replaces the ring's content with a copy of elems.
+func (r *ring) reset(elems []element.Element) {
+	r.head = 0
+	r.n = 0
+	if len(elems) > len(r.buf) {
+		r.buf = make([]element.Element, len(elems))
+	}
+	copy(r.buf, elems)
+	r.n = len(elems)
+}

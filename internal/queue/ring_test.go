@@ -1,0 +1,134 @@
+package queue
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamha/internal/element"
+)
+
+func ringElems(base, n int) []element.Element {
+	out := make([]element.Element, n)
+	for i := range out {
+		out[i] = element.Element{ID: uint64(base + i), Seq: uint64(base + i)}
+	}
+	return out
+}
+
+func checkRing(t *testing.T, r *ring, wantFirst, wantN int) {
+	t.Helper()
+	if r.len() != wantN {
+		t.Fatalf("len = %d, want %d", r.len(), wantN)
+	}
+	for i := 0; i < wantN; i++ {
+		if got := r.at(i); got.ID != uint64(wantFirst+i) {
+			t.Fatalf("at(%d).ID = %d, want %d", i, got.ID, wantFirst+i)
+		}
+	}
+}
+
+func TestRingAppendTrimWraparound(t *testing.T) {
+	var r ring
+	// Fill past the initial capacity so the buffer grows, then trim and
+	// append repeatedly so the live window wraps the physical end.
+	r.append(ringElems(0, 24))
+	checkRing(t, &r, 0, 24)
+	next := 24
+	first := 0
+	for i := 0; i < 50; i++ {
+		r.trim(7)
+		first += 7
+		r.append(ringElems(next, 7))
+		next += 7
+		checkRing(t, &r, first, 24)
+	}
+}
+
+func TestRingGrowWhileWrapped(t *testing.T) {
+	var r ring
+	r.append(ringElems(0, 16)) // exactly ringMinCap
+	r.trim(10)                 // head at 10
+	r.append(ringElems(16, 8)) // tail wraps, then grow on next append
+	checkRing(t, &r, 10, 14)
+	r.append(ringElems(24, 40)) // forces linearizing growth mid-wrap
+	checkRing(t, &r, 10, 54)
+}
+
+func TestRingTrimAllResets(t *testing.T) {
+	var r ring
+	r.append(ringElems(0, 20))
+	r.trim(100)
+	if r.len() != 0 || r.head != 0 {
+		t.Fatalf("after over-trim: len=%d head=%d", r.len(), r.head)
+	}
+	r.append(ringElems(5, 3))
+	checkRing(t, &r, 5, 3)
+}
+
+func TestRingCopyRangeAndSlice(t *testing.T) {
+	var r ring
+	r.append(ringElems(0, 30))
+	r.trim(12)
+	r.append(ringElems(30, 10)) // wrapped window [12, 40)
+	got := r.slice(5)           // logical 5 → IDs 17..39
+	if len(got) != 23 {
+		t.Fatalf("slice len %d, want 23", len(got))
+	}
+	for i, e := range got {
+		if e.ID != uint64(17+i) {
+			t.Fatalf("slice[%d].ID = %d, want %d", i, e.ID, 17+i)
+		}
+	}
+	if r.slice(r.len()) != nil {
+		t.Fatal("slice past end should be nil")
+	}
+}
+
+func TestRingReset(t *testing.T) {
+	var r ring
+	r.append(ringElems(0, 40))
+	r.trim(33) // non-zero head
+	r.reset(ringElems(100, 5))
+	checkRing(t, &r, 100, 5)
+	r.reset(nil)
+	if r.len() != 0 {
+		t.Fatalf("reset(nil) left %d elements", r.len())
+	}
+	// Reset larger than current capacity.
+	var r2 ring
+	r2.reset(ringElems(0, 100))
+	checkRing(t, &r2, 0, 100)
+}
+
+// TestRingMatchesSliceModel drives the ring against a plain-slice reference
+// with random batched appends and trims.
+func TestRingMatchesSliceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var r ring
+	var model []element.Element
+	next := 0
+	for op := 0; op < 2000; op++ {
+		if rng.Intn(2) == 0 {
+			n := rng.Intn(9) + 1
+			batch := ringElems(next, n)
+			next += n
+			r.append(batch)
+			model = append(model, batch...)
+		} else if len(model) > 0 {
+			k := rng.Intn(len(model) + 1)
+			r.trim(k)
+			model = model[k:]
+		}
+		if r.len() != len(model) {
+			t.Fatalf("op %d: len %d, model %d", op, r.len(), len(model))
+		}
+		for _, i := range []int{0, len(model) / 2, len(model) - 1} {
+			if i < 0 || i >= len(model) {
+				continue
+			}
+			if r.at(i) != model[i] {
+				t.Fatalf("op %d: at(%d) = %v, model %v", op, i, r.at(i), model[i])
+			}
+		}
+	}
+}

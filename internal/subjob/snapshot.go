@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sync"
 
 	"streamha/internal/element"
 	"streamha/internal/queue"
@@ -48,13 +49,26 @@ func (s *Snapshot) ElementUnits() int {
 	return n
 }
 
-// Encode serializes the snapshot for a checkpoint message.
+// encodeBufPool recycles the scratch buffers snapshot encoding grows into.
+// Checkpoints are taken continuously (every trim under sweeping
+// checkpointing), so reusing the buffer keeps the encode path from
+// re-growing a fresh one each time; only the exact-size result is
+// allocated per call.
+var encodeBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// Encode serializes the snapshot for a checkpoint message. The returned
+// slice is freshly allocated and owned by the caller.
 func (s *Snapshot) Encode() ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+	buf := encodeBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(s); err != nil {
+		encodeBufPool.Put(buf)
 		return nil, fmt.Errorf("subjob: encode snapshot: %w", err)
 	}
-	return buf.Bytes(), nil
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	encodeBufPool.Put(buf)
+	return out, nil
 }
 
 // DecodeSnapshot parses an encoded snapshot.

@@ -1,0 +1,97 @@
+package transport
+
+import "sync"
+
+// inboxEntry is one queued delivery.
+type inboxEntry struct {
+	from NodeID
+	msg  Message
+}
+
+// mailbox is the unbounded FIFO inbox shared by the in-memory and TCP
+// endpoints: producers enqueue under a short lock, and a dedicated
+// dispatch goroutine drains whole batches and invokes the handler
+// sequentially, so slow handlers never block the network or other
+// receivers.
+//
+// The dispatch loop double-buffers: the batch it drained is scrubbed and
+// swapped back in as the next inbox, so steady-state delivery performs no
+// allocation — the two batch buffers are recycled for the life of the
+// endpoint.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	inbox  []inboxEntry
+	closed bool
+	done   chan struct{}
+}
+
+// newMailbox creates a mailbox and starts its dispatch goroutine.
+func newMailbox(h Handler) *mailbox {
+	b := &mailbox{done: make(chan struct{})}
+	b.cond = sync.NewCond(&b.mu)
+	go b.dispatch(h)
+	return b
+}
+
+// enqueue appends one delivery. It reports false if the mailbox is closed.
+func (b *mailbox) enqueue(from NodeID, msg Message) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return false
+	}
+	b.inbox = append(b.inbox, inboxEntry{from: from, msg: msg})
+	b.cond.Signal()
+	return true
+}
+
+// isClosed reports whether close has been called.
+func (b *mailbox) isClosed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closed
+}
+
+// close marks the mailbox closed and wakes the dispatcher, which drains
+// remaining entries and exits. It reports false if already closed and does
+// not wait for the dispatcher; receive the done channel for that.
+func (b *mailbox) close() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return false
+	}
+	b.closed = true
+	b.cond.Broadcast()
+	return true
+}
+
+func (b *mailbox) dispatch(h Handler) {
+	defer close(b.done)
+	// spare is the recycled second buffer; it is touched only by this
+	// goroutine, so it needs no locking.
+	var spare []inboxEntry
+	for {
+		b.mu.Lock()
+		for len(b.inbox) == 0 && !b.closed {
+			b.cond.Wait()
+		}
+		if b.closed && len(b.inbox) == 0 {
+			b.mu.Unlock()
+			return
+		}
+		batch := b.inbox
+		b.inbox = spare[:0]
+		b.mu.Unlock()
+		for _, e := range batch {
+			h(e.from, e.msg)
+		}
+		// Scrub message references (element slices, state buffers) before
+		// recycling so the buffer does not pin delivered payloads.
+		for i := range batch {
+			batch[i] = inboxEntry{}
+		}
+		spare = batch
+	}
+}

@@ -22,22 +22,39 @@ type MemConfig struct {
 // messages are released by a single scheduler goroutine in (deadline, send
 // order) and handed to a per-receiver dispatch goroutine that invokes the
 // handler sequentially.
+//
+// Delivery is sharded per receiver: the node registry is guarded by a
+// read/write lock the hot send path only read-locks, and each receiver has
+// its own inbox lock, so concurrent senders to different nodes never
+// contend on a common exclusive lock. Only the latency scheduler's pending
+// heap is a shared structure, and it is guarded by its own lock.
 type Mem struct {
 	cfg MemConfig
 
-	mu     sync.Mutex
+	// regMu guards the node registry and liveness flags. Sends take it in
+	// read mode; registration, failure injection and shutdown — all rare —
+	// take it in write mode.
+	regMu  sync.RWMutex
 	nodes  map[NodeID]*memNode
 	down   map[NodeID]bool
-	queue  deliveryQueue
-	seq    uint64
-	wake   chan struct{}
 	closed bool
+
+	// schedMu guards the latency scheduler's pending-delivery heap. It is
+	// untouched when Latency is zero.
+	schedMu sync.Mutex
+	queue   deliveryQueue
+	seq     uint64
+	wake    chan struct{}
 
 	obsMu    sync.RWMutex
 	observer func(from, to NodeID, msg *Message)
 
 	stats counters
 }
+
+// pendingPool recycles pendingDelivery entries between heap push and pop,
+// so the latency scheduler allocates nothing in steady state.
+var pendingPool = sync.Pool{New: func() any { return new(pendingDelivery) }}
 
 // SetObserver installs a hook invoked synchronously on every Send (before
 // latency and drop handling), for experiments that need per-destination
@@ -71,8 +88,8 @@ func NewMem(cfg MemConfig) *Mem {
 
 // Register implements Network.
 func (m *Mem) Register(id NodeID, h Handler) (Endpoint, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.regMu.Lock()
+	defer m.regMu.Unlock()
 	if _, ok := m.nodes[id]; ok {
 		return nil, ErrDuplicateNode
 	}
@@ -83,8 +100,8 @@ func (m *Mem) Register(id NodeID, h Handler) (Endpoint, error) {
 
 // SetDown implements Network.
 func (m *Mem) SetDown(id NodeID, down bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.regMu.Lock()
+	defer m.regMu.Unlock()
 	if down {
 		m.down[id] = true
 	} else {
@@ -98,9 +115,9 @@ func (m *Mem) Stats() Stats { return m.stats.snapshot() }
 // Close stops the scheduler and all dispatch goroutines. Messages still in
 // flight are dropped.
 func (m *Mem) Close() {
-	m.mu.Lock()
+	m.regMu.Lock()
 	if m.closed {
-		m.mu.Unlock()
+		m.regMu.Unlock()
 		return
 	}
 	m.closed = true
@@ -108,7 +125,7 @@ func (m *Mem) Close() {
 	for _, n := range m.nodes {
 		nodes = append(nodes, n)
 	}
-	m.mu.Unlock()
+	m.regMu.Unlock()
 	m.signal()
 	for _, n := range nodes {
 		n.Close()
@@ -123,62 +140,89 @@ func (m *Mem) signal() {
 }
 
 func (m *Mem) send(from NodeID, to NodeID, msg Message) {
-	m.stats.record(&msg)
+	m.stats.record(msg.Kind, msg.ElementUnits())
 	m.obsMu.RLock()
 	obs := m.observer
 	m.obsMu.RUnlock()
 	if obs != nil {
-		obs(from, to, &msg)
-	}
-	m.mu.Lock()
-	if m.closed || m.down[from] || m.down[to] {
-		m.mu.Unlock()
-		return
+		// The observer sees (and may amend) a copy declared inside this
+		// branch, so the escape it causes is only paid when a hook is
+		// installed — never on the plain hot path.
+		c := msg
+		obs(from, to, &c)
+		msg = c
 	}
 	if m.cfg.Latency == 0 {
+		// Synchronous path: read-lock the registry, resolve the receiver,
+		// and enqueue on its private inbox. Senders to different receivers
+		// share only the read lock.
+		m.regMu.RLock()
+		if m.closed || m.down[from] || m.down[to] {
+			m.regMu.RUnlock()
+			return
+		}
 		n := m.nodes[to]
-		m.mu.Unlock()
+		m.regMu.RUnlock()
 		if n != nil {
-			n.enqueue(from, msg)
+			n.box.enqueue(from, msg)
 		}
 		return
 	}
+	m.regMu.RLock()
+	blocked := m.closed || m.down[from] || m.down[to]
+	m.regMu.RUnlock()
+	if blocked {
+		return
+	}
+	pd := pendingPool.Get().(*pendingDelivery)
+	pd.at = m.cfg.Clock.Now().Add(m.cfg.Latency)
+	pd.from = from
+	pd.to = to
+	pd.msg = msg
+	m.schedMu.Lock()
 	m.seq++
-	heap.Push(&m.queue, &pendingDelivery{
-		at:   m.cfg.Clock.Now().Add(m.cfg.Latency),
-		seq:  m.seq,
-		from: from,
-		to:   to,
-		msg:  msg,
-	})
-	m.mu.Unlock()
+	pd.seq = m.seq
+	heap.Push(&m.queue, pd)
+	m.schedMu.Unlock()
 	m.signal()
 }
 
 // schedule is the delivery loop used when latency is non-zero.
 func (m *Mem) schedule() {
 	for {
-		m.mu.Lock()
-		if m.closed {
-			m.mu.Unlock()
+		m.regMu.RLock()
+		closed := m.closed
+		m.regMu.RUnlock()
+		if closed {
 			return
 		}
 		now := m.cfg.Clock.Now()
 		var wait time.Duration = -1
-		for m.queue.Len() > 0 {
+		for {
+			m.schedMu.Lock()
+			if m.queue.Len() == 0 {
+				m.schedMu.Unlock()
+				break
+			}
 			next := m.queue[0]
 			if next.at.After(now) {
 				wait = next.at.Sub(now)
+				m.schedMu.Unlock()
 				break
 			}
 			heap.Pop(&m.queue)
+			m.schedMu.Unlock()
+
+			m.regMu.RLock()
 			n := m.nodes[next.to]
 			delivered := n != nil && !m.down[next.to] && !m.down[next.from]
+			m.regMu.RUnlock()
 			if delivered {
-				n.enqueue(next.from, next.msg)
+				n.box.enqueue(next.from, next.msg)
 			}
+			*next = pendingDelivery{}
+			pendingPool.Put(next)
 		}
-		m.mu.Unlock()
 		if wait < 0 {
 			<-m.wake
 			continue
@@ -218,32 +262,19 @@ func (q *deliveryQueue) Pop() any {
 	return item
 }
 
-// memNode is one registered endpoint with an unbounded FIFO mailbox drained
-// by a dedicated dispatch goroutine, so slow handlers never block the
-// network scheduler or other receivers.
+// memNode is one registered endpoint whose mailbox is drained by a
+// dedicated dispatch goroutine, so slow handlers never block the network
+// scheduler or other receivers.
 type memNode struct {
 	net *Mem
 	id  NodeID
-
-	mu     sync.Mutex
-	cond   *sync.Cond
-	inbox  []inboxEntry
-	closed bool
-	done   chan struct{}
-}
-
-type inboxEntry struct {
-	from NodeID
-	msg  Message
+	box *mailbox
 }
 
 var _ Endpoint = (*memNode)(nil)
 
 func newMemNode(net *Mem, id NodeID, h Handler) *memNode {
-	n := &memNode{net: net, id: id, done: make(chan struct{})}
-	n.cond = sync.NewCond(&n.mu)
-	go n.dispatch(h)
-	return n
+	return &memNode{net: net, id: id, box: newMailbox(h)}
 }
 
 // ID implements Endpoint.
@@ -251,10 +282,7 @@ func (n *memNode) ID() NodeID { return n.id }
 
 // Send implements Endpoint.
 func (n *memNode) Send(to NodeID, msg Message) error {
-	n.mu.Lock()
-	closed := n.closed
-	n.mu.Unlock()
-	if closed {
+	if n.box.isClosed() {
 		return ErrClosed
 	}
 	n.net.send(n.id, to, msg)
@@ -263,48 +291,12 @@ func (n *memNode) Send(to NodeID, msg Message) error {
 
 // Close implements Endpoint.
 func (n *memNode) Close() error {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	if !n.box.close() {
 		return nil
 	}
-	n.closed = true
-	n.cond.Broadcast()
-	n.mu.Unlock()
-
-	n.net.mu.Lock()
+	n.net.regMu.Lock()
 	delete(n.net.nodes, n.id)
-	n.net.mu.Unlock()
-	<-n.done
+	n.net.regMu.Unlock()
+	<-n.box.done
 	return nil
-}
-
-func (n *memNode) enqueue(from NodeID, msg Message) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closed {
-		return
-	}
-	n.inbox = append(n.inbox, inboxEntry{from: from, msg: msg})
-	n.cond.Signal()
-}
-
-func (n *memNode) dispatch(h Handler) {
-	defer close(n.done)
-	for {
-		n.mu.Lock()
-		for len(n.inbox) == 0 && !n.closed {
-			n.cond.Wait()
-		}
-		if n.closed && len(n.inbox) == 0 {
-			n.mu.Unlock()
-			return
-		}
-		batch := n.inbox
-		n.inbox = nil
-		n.mu.Unlock()
-		for _, e := range batch {
-			h(e.from, e.msg)
-		}
-	}
 }

@@ -58,14 +58,17 @@ type counters struct {
 	elements [KindControl + 1]atomic.Int64
 }
 
-func (c *counters) record(m *Message) {
-	k := m.Kind
+// record counts one message of kind k carrying units element units. It
+// takes scalar arguments rather than a *Message so the hot send path never
+// takes the message's address, which would force every sent message onto
+// the heap.
+func (c *counters) record(k Kind, units int) {
 	if k < 0 || int(k) >= len(c.messages) {
 		k = KindInvalid
 	}
 	c.messages[k].Add(1)
-	if n := m.ElementUnits(); n > 0 {
-		c.elements[k].Add(int64(n))
+	if units > 0 {
+		c.elements[k].Add(int64(units))
 	}
 }
 

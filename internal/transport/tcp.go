@@ -31,7 +31,10 @@ type TCPConfig struct {
 type TCP struct {
 	cfg TCPConfig
 
-	mu       sync.Mutex
+	// mu guards the registry and connection table. The hot send path takes
+	// it in read mode; registration, failure injection, lazy dialing and
+	// shutdown take it in write mode.
+	mu       sync.RWMutex
 	locals   map[NodeID]*tcpEndpoint
 	down     map[NodeID]bool
 	outbound map[string]*tcpConn // peer address -> connection
@@ -167,10 +170,10 @@ func (t *TCP) serve(conn net.Conn) {
 }
 
 func (t *TCP) deliverLocal(from, to NodeID, msg Message) {
-	t.mu.Lock()
+	t.mu.RLock()
 	ep := t.locals[to]
 	blocked := t.down[to] || t.down[from]
-	t.mu.Unlock()
+	t.mu.RUnlock()
 	if ep == nil || blocked {
 		return
 	}
@@ -180,29 +183,48 @@ func (t *TCP) deliverLocal(from, to NodeID, msg Message) {
 // send routes a message: loopback for local destinations, socket for
 // remote ones, silent drop for unknown or unreachable destinations.
 func (t *TCP) send(from NodeID, to NodeID, msg Message) {
-	t.stats.record(&msg)
-	t.mu.Lock()
+	t.stats.record(msg.Kind, msg.ElementUnits())
+	t.mu.RLock()
 	if t.closed || t.down[from] || t.down[to] {
-		t.mu.Unlock()
+		t.mu.RUnlock()
 		return
 	}
-	if _, ok := t.locals[to]; ok {
-		t.mu.Unlock()
-		t.deliverLocal(from, to, msg)
+	if ep := t.locals[to]; ep != nil {
+		t.mu.RUnlock()
+		ep.enqueue(from, msg)
 		return
 	}
 	addr, ok := t.cfg.Peers[to]
 	if !ok {
-		t.mu.Unlock()
+		t.mu.RUnlock()
 		return
+	}
+	c := t.outbound[addr]
+	t.mu.RUnlock()
+	if c == nil {
+		c = t.dial(addr)
+		if c == nil {
+			return
+		}
+	}
+	c.write(tcpFrame{From: from, To: to, Msg: msg})
+}
+
+// dial creates (or returns the winner of a racing create of) the
+// persistent outbound connection for addr. Returns nil if the network
+// closed meanwhile.
+func (t *TCP) dial(addr string) *tcpConn {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
 	}
 	c := t.outbound[addr]
 	if c == nil {
 		c = newTCPConn(addr)
 		t.outbound[addr] = c
 	}
-	t.mu.Unlock()
-	c.write(tcpFrame{From: from, To: to, Msg: msg})
+	return c
 }
 
 // tcpConn is one lazily-dialed persistent outbound connection with a
@@ -260,6 +282,10 @@ func (c *tcpConn) writer() {
 			conn.Close()
 		}
 	}()
+	// spare is the recycled second frame buffer (see mailbox.dispatch): the
+	// drained batch is scrubbed and swapped back in as the next queue, so
+	// the writer allocates nothing in steady state.
+	var spare []tcpFrame
 	for {
 		c.mu.Lock()
 		for len(c.queue) == 0 && !c.closed {
@@ -270,10 +296,10 @@ func (c *tcpConn) writer() {
 			return
 		}
 		batch := c.queue
-		c.queue = nil
+		c.queue = spare[:0]
 		c.mu.Unlock()
 
-		for _, f := range batch {
+		for i := range batch {
 			if conn == nil {
 				var err error
 				conn, err = net.Dial("tcp", c.addr)
@@ -283,33 +309,31 @@ func (c *tcpConn) writer() {
 				}
 				enc = gob.NewEncoder(conn)
 			}
-			if err := enc.Encode(&f); err != nil {
+			if err := enc.Encode(&batch[i]); err != nil {
 				conn.Close()
 				conn, enc = nil, nil
 			}
 		}
+		// Scrub frame payload references before recycling the buffer.
+		for i := range batch {
+			batch[i] = tcpFrame{}
+		}
+		spare = batch
 	}
 }
 
-// tcpEndpoint is a locally hosted node on a TCP segment.
+// tcpEndpoint is a locally hosted node on a TCP segment. Its inbox is the
+// same recycled-batch mailbox the in-memory transport uses.
 type tcpEndpoint struct {
 	net *TCP
 	id  NodeID
-
-	mu     sync.Mutex
-	cond   *sync.Cond
-	inbox  []inboxEntry
-	closed bool
-	done   chan struct{}
+	box *mailbox
 }
 
 var _ Endpoint = (*tcpEndpoint)(nil)
 
 func newTCPEndpoint(net *TCP, id NodeID, h Handler) *tcpEndpoint {
-	ep := &tcpEndpoint{net: net, id: id, done: make(chan struct{})}
-	ep.cond = sync.NewCond(&ep.mu)
-	go ep.dispatch(h)
-	return ep
+	return &tcpEndpoint{net: net, id: id, box: newMailbox(h)}
 }
 
 // ID implements Endpoint.
@@ -317,10 +341,7 @@ func (ep *tcpEndpoint) ID() NodeID { return ep.id }
 
 // Send implements Endpoint.
 func (ep *tcpEndpoint) Send(to NodeID, msg Message) error {
-	ep.mu.Lock()
-	closed := ep.closed
-	ep.mu.Unlock()
-	if closed {
+	if ep.box.isClosed() {
 		return ErrClosed
 	}
 	ep.net.send(ep.id, to, msg)
@@ -329,50 +350,18 @@ func (ep *tcpEndpoint) Send(to NodeID, msg Message) error {
 
 // Close implements Endpoint.
 func (ep *tcpEndpoint) Close() error {
-	ep.mu.Lock()
-	if ep.closed {
-		ep.mu.Unlock()
+	if !ep.box.close() {
 		return nil
 	}
-	ep.closed = true
-	ep.cond.Broadcast()
-	ep.mu.Unlock()
-
 	ep.net.mu.Lock()
 	delete(ep.net.locals, ep.id)
 	ep.net.mu.Unlock()
-	<-ep.done
+	<-ep.box.done
 	return nil
 }
 
 func (ep *tcpEndpoint) enqueue(from NodeID, msg Message) {
-	ep.mu.Lock()
-	defer ep.mu.Unlock()
-	if ep.closed {
-		return
-	}
-	ep.inbox = append(ep.inbox, inboxEntry{from: from, msg: msg})
-	ep.cond.Signal()
-}
-
-func (ep *tcpEndpoint) dispatch(h Handler) {
-	defer close(ep.done)
-	for {
-		ep.mu.Lock()
-		for len(ep.inbox) == 0 && !ep.closed {
-			ep.cond.Wait()
-		}
-		if ep.closed && len(ep.inbox) == 0 {
-			ep.mu.Unlock()
-			return
-		}
-		batch := ep.inbox
-		ep.inbox = nil
-		ep.mu.Unlock()
-		for _, e := range batch {
-			h(e.from, e.msg)
-		}
-	}
+	ep.box.enqueue(from, msg)
 }
 
 // ErrNoRoute reports an unroutable destination (currently unused: sends

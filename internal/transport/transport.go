@@ -68,6 +68,12 @@ func (k Kind) String() string {
 //     ElementCount (snapshot size in element-equivalents, for accounting).
 //   - KindReadStateReq/Resp: Stream (subjob ID), State, ElementCount.
 //   - KindControl: Stream (target subjob ID), Command and Seq.
+//
+// Messages are fanned out zero-copy: the same Elements backing array may be
+// shared by the messages delivered to every subscriber of a stream (and by
+// the publisher's own retained reference). Handlers must treat Elements and
+// State as immutable; a consumer that needs to mutate or retain them copies
+// first (element.CloneBatch).
 type Message struct {
 	Kind         Kind
 	Stream       string
