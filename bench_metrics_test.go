@@ -1,0 +1,35 @@
+package streamha_test
+
+// Observability-plane microbenchmarks: the cost of recording one delay
+// sample under contention and of a live percentile query. The sharded
+// variants exercise the current metrics.DelayStats; the Seed variants run
+// the frozen pre-sharding implementation (mutex + growing sample slice)
+// kept in internal/experiment as the baseline, so the speedup stays
+// measurable:
+//
+//	go test -bench=BenchmarkDelayStats -benchmem -cpu 8
+//
+// The benchmark bodies live in internal/experiment/delaybench.go so that
+// streamha-bench -fig delaystats measures exactly the same code.
+
+import (
+	"testing"
+
+	"streamha/internal/experiment"
+)
+
+func BenchmarkDelayStatsAdd(b *testing.B) {
+	experiment.BenchDelayStatsAdd(b)
+}
+
+func BenchmarkDelayStatsAddSeed(b *testing.B) {
+	experiment.BenchDelayStatsAddSeed(b)
+}
+
+func BenchmarkDelayStatsPercentile(b *testing.B) {
+	experiment.BenchDelayStatsPercentile(b)
+}
+
+func BenchmarkDelayStatsPercentileSeed(b *testing.B) {
+	experiment.BenchDelayStatsPercentileSeed(b)
+}

@@ -8,8 +8,9 @@
 //	streamha-bench -fig 7 -quick      # reduced sweep for a fast look
 //
 // Figures: 1, 2 (covers 3), 4, 5, 6, 7, 8, 9 (covers 10), 11, 12 (covers
-// 13), plus "sweeping" (Section III), "ablation" (Section IV-B) and
-// "throughput" (data-plane publish/ack/trim microbenchmarks).
+// 13), plus "sweeping" (Section III), "ablation" (Section IV-B),
+// "throughput" (data-plane publish/ack/trim microbenchmarks) and
+// "delaystats" (observability-plane record/query microbenchmarks).
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1,2,4,5,6,7,8,9,11,12,sweeping,ablation,throughput or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1,2,4,5,6,7,8,9,11,12,sweeping,ablation,throughput,delaystats or all")
 	quick := flag.Bool("quick", false, "reduced sweeps and repeats for a fast look")
 	flag.Parse()
 
@@ -188,9 +189,15 @@ func run(fig string, quick bool) error {
 		show(r.Table(), time.Since(start))
 	}
 
+	if want("delaystats") {
+		start := time.Now()
+		r := experiment.RunDelayStats()
+		show(r.Table(), time.Since(start))
+	}
+
 	if !ran {
 		return fmt.Errorf("unknown figure %q (try: %s)", fig,
-			strings.Join([]string{"1", "2", "4", "5", "6", "7", "8", "9", "11", "12", "sweeping", "ablation", "throughput", "all"}, ", "))
+			strings.Join([]string{"1", "2", "4", "5", "6", "7", "8", "9", "11", "12", "sweeping", "ablation", "throughput", "delaystats", "all"}, ", "))
 	}
 	return nil
 }

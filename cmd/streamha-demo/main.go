@@ -49,6 +49,9 @@ func main() {
 	defer pipe.Stop()
 	g := pipe.Group(0)
 
+	reg := streamha.NewRegistry()
+	pipe.RegisterMetrics(reg)
+
 	step := func(format string, args ...any) {
 		fmt.Printf("\n--- %s\n", fmt.Sprintf(format, args...))
 	}
@@ -121,4 +124,9 @@ func main() {
 	st := cl.Stats()
 	fmt.Printf("    network traffic: %d messages, %d element-units (%d data, %d checkpoint)\n",
 		st.TotalMessages(), st.TotalElements(), st.DataElements(), st.CheckpointElements())
+
+	step("metrics snapshot (live-pollable at any point of the run)")
+	if out, err := reg.JSON(); err == nil {
+		fmt.Println(string(out))
+	}
 }

@@ -89,18 +89,19 @@ type subjobDef struct {
 func main() {
 	configPath := flag.String("config", "", "deployment JSON file (required)")
 	process := flag.String("process", "", "process entry to play (required)")
+	snapshot := flag.Int("snapshot", 0, "print a JSON metrics snapshot every N seconds (0: only at exit)")
 	flag.Parse()
 	if *configPath == "" || *process == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*configPath, *process); err != nil {
+	if err := run(*configPath, *process, *snapshot); err != nil {
 		fmt.Fprintf(os.Stderr, "streamha-node: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(configPath, process string) error {
+func run(configPath, process string, snapshotSec int) error {
 	raw, err := os.ReadFile(configPath)
 	if err != nil {
 		return err
@@ -194,6 +195,11 @@ func run(configPath, process string) error {
 
 	var stop []func()
 
+	// Every component this process hosts registers in one metrics registry,
+	// polled for the periodic report and the exit snapshot.
+	reg := metrics.NewRegistry()
+	reg.Register("transport", func() any { return seg.Stats() })
+
 	// Local subjob copies.
 	for i, def := range dep.Job.Subjobs {
 		for _, host := range copyHosts(def) {
@@ -205,6 +211,7 @@ func run(configPath, process string) error {
 			if err != nil {
 				return err
 			}
+			reg.Register("subjob/"+def.ID+"/"+host, func() any { return rt.Stats() })
 			rt.Start()
 			for _, tgt := range consumerTargets(i + 1) {
 				rt.Out().Subscribe(transport.NodeID(tgt[0]), tgt[1], true)
@@ -228,6 +235,7 @@ func run(configPath, process string) error {
 			Owners:      map[string]string{last: specs[len(specs)-1].ID},
 			AckInterval: 20 * time.Millisecond,
 		})
+		sink.RegisterMetrics(reg)
 		sink.Start()
 		stop = append(stop, sink.Stop)
 		fmt.Printf("hosting sink on %s\n", dep.Job.SinkMachine)
@@ -247,6 +255,7 @@ func run(configPath, process string) error {
 		for _, tgt := range consumerTargets(0) {
 			src.Out().Subscribe(transport.NodeID(tgt[0]), tgt[1], true)
 		}
+		reg.Register("source", func() any { return src.Stats() })
 		src.Start()
 		stop = append(stop, src.Stop)
 		fmt.Printf("hosting source on %s at %.0f elements/s\n", dep.Job.SourceMachine, dep.Job.Rate)
@@ -261,6 +270,12 @@ func run(configPath, process string) error {
 	}
 	report := time.NewTicker(2 * time.Second)
 	defer report.Stop()
+	var snap <-chan time.Time
+	if snapshotSec > 0 {
+		t := time.NewTicker(time.Duration(snapshotSec) * time.Second)
+		defer t.Stop()
+		snap = t.C
+	}
 	end := time.After(deadline)
 loop:
 	for {
@@ -275,6 +290,8 @@ loop:
 			} else if src != nil {
 				fmt.Printf("source emitted %d elements\n", src.Emitted())
 			}
+		case <-snap:
+			printMetrics(reg)
 		}
 	}
 	for i := len(stop) - 1; i >= 0; i-- {
@@ -284,9 +301,18 @@ loop:
 		fmt.Println("final:")
 		printSinkReport(sink.Delays(), sink.Received())
 	}
-	st := seg.Stats()
-	fmt.Printf("transport: %d messages, %d element units\n", st.TotalMessages(), st.TotalElements())
+	fmt.Println("metrics snapshot:")
+	printMetrics(reg)
 	return nil
+}
+
+func printMetrics(reg *metrics.Registry) {
+	out, err := reg.JSON()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+		return
+	}
+	fmt.Println(string(out))
 }
 
 func copyHosts(def subjobDef) []string {

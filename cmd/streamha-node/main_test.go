@@ -48,7 +48,7 @@ func TestThreeProcessDeployment(t *testing.T) {
 		wg.Add(1)
 		go func(role string) {
 			defer wg.Done()
-			if err := run(cfg, role); err != nil {
+			if err := run(cfg, role, 0); err != nil {
 				errs <- err
 			}
 		}(role)
@@ -61,7 +61,7 @@ func TestThreeProcessDeployment(t *testing.T) {
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("/nonexistent/config.json", "x"); err == nil {
+	if err := run("/nonexistent/config.json", "x", 0); err == nil {
 		t.Fatal("missing config accepted")
 	}
 
@@ -69,7 +69,7 @@ func TestRunRejectsBadInputs(t *testing.T) {
 	if err := os.WriteFile(cfg, []byte("{not json"), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(cfg, "x"); err == nil {
+	if err := run(cfg, "x", 0); err == nil {
 		t.Fatal("malformed config accepted")
 	}
 
@@ -81,10 +81,10 @@ func TestRunRejectsBadInputs(t *testing.T) {
 	if err := os.WriteFile(cfg2, good, 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(cfg2, "missing"); err == nil {
+	if err := run(cfg2, "missing", 0); err == nil {
 		t.Fatal("unknown process accepted")
 	}
-	if err := run(cfg2, "a"); err == nil {
+	if err := run(cfg2, "a", 0); err == nil {
 		t.Fatal("hybrid mode must be rejected multi-process")
 	}
 }

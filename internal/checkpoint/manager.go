@@ -83,6 +83,8 @@ type Sweeping struct {
 	pending    map[uint64]map[string]uint64 // checkpoint seq -> consumed positions
 	taken      int
 	pauseTotal time.Duration
+	lastUnits  int
+	unitsTotal int64
 	started    bool
 }
 
@@ -184,6 +186,8 @@ func (s *Sweeping) CheckpointNow() time.Duration {
 	s.pending[seq] = snap.Consumed
 	s.taken++
 	s.pauseTotal += paused
+	s.lastUnits = units
+	s.unitsTotal += int64(units)
 	s.mu.Unlock()
 
 	rt.Machine().Send(s.cfg.StoreNode, transport.Message{
@@ -232,4 +236,33 @@ func (s *Sweeping) MeanPause() time.Duration {
 		return 0
 	}
 	return s.pauseTotal / time.Duration(s.taken)
+}
+
+// ManagerStats is a JSON-marshalable view of a checkpoint manager's
+// activity, exported through the metrics registry.
+type ManagerStats struct {
+	Subjob      string  `json:"subjob"`
+	Taken       int     `json:"taken"`
+	Pending     int     `json:"pending_acks"`
+	MeanPauseMS float64 `json:"mean_pause_ms"`
+	LastUnits   int     `json:"last_size_units"`
+	TotalUnits  int64   `json:"total_size_units"`
+}
+
+// Stats captures checkpoint counts, pending store acks and snapshot sizes
+// in element units.
+func (s *Sweeping) Stats() ManagerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := ManagerStats{
+		Subjob:     s.cfg.Runtime.Spec().ID,
+		Taken:      s.taken,
+		Pending:    len(s.pending),
+		LastUnits:  s.lastUnits,
+		TotalUnits: s.unitsTotal,
+	}
+	if s.taken > 0 {
+		st.MeanPauseMS = float64(s.pauseTotal) / float64(s.taken) / 1e6
+	}
+	return st
 }

@@ -38,13 +38,14 @@ type Store struct {
 	backend     StoreBackend
 	diskLatency time.Duration
 
-	mu     sync.Mutex
-	latest *subjob.Snapshot
-	seq    uint64
-	stored int
-	work   chan storeReq
-	stop   chan struct{}
-	done   chan struct{}
+	mu        sync.Mutex
+	latest    *subjob.Snapshot
+	seq       uint64
+	stored    int
+	lastUnits int
+	work      chan storeReq
+	stop      chan struct{}
+	done      chan struct{}
 }
 
 type storeReq struct {
@@ -125,6 +126,7 @@ func (s *Store) store(batch []storeReq) {
 	if batch[newest].msg.Seq > s.seq {
 		s.seq = batch[newest].msg.Seq
 		s.latest = snap
+		s.lastUnits = snap.ElementUnits()
 	}
 	s.stored++
 	s.mu.Unlock()
@@ -157,6 +159,28 @@ func (s *Store) Stored() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stored
+}
+
+// StoreStats is a JSON-marshalable view of a checkpoint store, exported
+// through the metrics registry.
+type StoreStats struct {
+	Subjob    string `json:"subjob"`
+	Stored    int    `json:"stored"`
+	LatestSeq uint64 `json:"latest_seq"`
+	LastUnits int    `json:"last_size_units"`
+}
+
+// Stats captures how many checkpoints the store has taken in and the size
+// of the latest one, in element units.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		Subjob:    s.sjID,
+		Stored:    s.stored,
+		LatestSeq: s.seq,
+		LastUnits: s.lastUnits,
+	}
 }
 
 // Close stops the store and unregisters its handler.

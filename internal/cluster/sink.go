@@ -101,6 +101,34 @@ func (s *Sink) Received() uint64 {
 	return s.received
 }
 
+// SinkStats is a JSON-marshalable view of the sink, exported through the
+// metrics registry.
+type SinkStats struct {
+	Received  uint64                `json:"received"`
+	InputLen  int                   `json:"input_len"`
+	InputDups int                   `json:"input_dups"`
+	InputGaps int                   `json:"input_gaps"`
+	Delays    metrics.DelaySnapshot `json:"delays"`
+}
+
+// Stats captures delivery and dedup counters plus the live delay
+// distribution.
+func (s *Sink) Stats() SinkStats {
+	dups, gaps := s.in.Drops()
+	return SinkStats{
+		Received:  s.Received(),
+		InputLen:  s.in.Len(),
+		InputDups: dups,
+		InputGaps: gaps,
+		Delays:    s.cfg.Delays.Snapshot(),
+	}
+}
+
+// RegisterMetrics registers the sink under "sink/<id>" in reg.
+func (s *Sink) RegisterMetrics(reg *metrics.Registry) {
+	reg.Register("sink/"+s.cfg.ID, func() any { return s.Stats() })
+}
+
 // IDCounts returns a copy of the per-ID delivery counts (TrackIDs only).
 func (s *Sink) IDCounts() map[uint64]int {
 	s.mu.Lock()

@@ -102,6 +102,18 @@ func (s *Source) Emitted() uint64 {
 	return s.nextID
 }
 
+// SourceStats is a JSON-marshalable view of the source, exported through
+// the metrics registry.
+type SourceStats struct {
+	Emitted uint64            `json:"emitted"`
+	Output  queue.OutputStats `json:"output"`
+}
+
+// Stats captures the emission count and output-queue retention state.
+func (s *Source) Stats() SourceStats {
+	return SourceStats{Emitted: s.Emitted(), Output: s.out.Stats()}
+}
+
 // Start launches the emission loop.
 func (s *Source) Start() {
 	s.mu.Lock()

@@ -381,6 +381,48 @@ func (c *Controller) Detector() *detect.Heartbeat {
 	return c.det
 }
 
+// Checkpoint returns the controller's checkpoint manager, or nil before
+// Start.
+func (c *Controller) Checkpoint() checkpoint.Manager {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cm
+}
+
+// DiskStore returns the checkpoint store of the no-pre-deployment
+// ablation, or nil when the standby holds state in memory.
+func (c *Controller) DiskStore() *checkpoint.Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.diskStore
+}
+
+// ControllerStats is a JSON-marshalable view of the controller's HA
+// activity, exported through the metrics registry.
+type ControllerStats struct {
+	Subjob     string `json:"subjob"`
+	Active     bool   `json:"standby_active"`
+	Promoted   bool   `json:"promoted"`
+	Switches   int    `json:"switchovers"`
+	Rollbacks  int    `json:"rollbacks"`
+	Promotions int    `json:"promotions"`
+}
+
+// Stats captures the controller's switchover/rollback/promotion counts
+// and current standby state.
+func (c *Controller) Stats() ControllerStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ControllerStats{
+		Subjob:     c.cfg.Spec.ID,
+		Active:     c.active,
+		Promoted:   c.promoted,
+		Switches:   len(c.switches),
+		Rollbacks:  len(c.rollbacks),
+		Promotions: len(c.promotions),
+	}
+}
+
 // PrimaryRuntime returns the copy currently serving as primary.
 func (c *Controller) PrimaryRuntime() *subjob.Runtime { return c.primaryRT() }
 

@@ -229,6 +229,44 @@ func TestScoreEmpty(t *testing.T) {
 	}
 }
 
+func TestCrashedResponderSendsNoPongsAndBurnsNoCPU(t *testing.T) {
+	net := transport.NewMem(transport.MemConfig{})
+	t.Cleanup(net.Close)
+	clk := clock.New()
+	tgt, err := machine.New("target", clk, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := machine.New("monitor", clk, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := NewResponder(tgt, 50*time.Millisecond)
+	t.Cleanup(resp.Close)
+
+	pongs := make(chan uint64, 64)
+	mon.RegisterStream("hbreply|crashed", func(_ transport.NodeID, msg transport.Message) {
+		pongs <- msg.Seq
+	})
+
+	tgt.Crash()
+	before := tgt.CPU().WorkDone()
+	// Inject pings directly into the responder's queue, modeling pings
+	// that were already accepted when the crash hit: the crashed machine's
+	// transport would drop newly arriving ones before they got here.
+	for i := 1; i <= 8; i++ {
+		resp.work <- pingReq{from: mon.ID(), seq: uint64(i), replyStream: "hbreply|crashed"}
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	if got := tgt.CPU().WorkDone() - before; got != 0 {
+		t.Fatalf("crashed responder burned %v of simulated CPU", got)
+	}
+	if n := len(pongs); n != 0 {
+		t.Fatalf("crashed responder sent %d pongs", n)
+	}
+}
+
 func TestResponderDropsWhenSaturated(t *testing.T) {
 	r := newDetRig(t)
 	// Stall the target so replies queue up; flood with pings.

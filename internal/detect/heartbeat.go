@@ -69,6 +69,11 @@ func (r *Responder) run() {
 		case <-r.stop:
 			return
 		case req := <-r.work:
+			// A crashed machine does nothing: check before paying the reply
+			// cost, so pings queued around the crash burn no simulated CPU.
+			if r.m.Crashed() {
+				continue
+			}
 			r.m.CPU().ExecutePriority(r.replyCost)
 			if r.m.Crashed() {
 				continue
@@ -301,6 +306,40 @@ func (h *Heartbeat) Failed() bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.failed
+}
+
+// HeartbeatStats is a JSON-marshalable view of a heartbeat detector's
+// state, exported through the metrics registry.
+type HeartbeatStats struct {
+	Target     string `json:"target"`
+	Sent       uint64 `json:"pings_sent"`
+	LastPong   uint64 `json:"last_pong_seq"`
+	Misses     int    `json:"consecutive_misses"`
+	Failed     bool   `json:"failed"`
+	Failures   int    `json:"failures_declared"`
+	Recoveries int    `json:"recoveries_declared"`
+}
+
+// Stats captures the detector's ping/reply position and declaration
+// counts.
+func (h *Heartbeat) Stats() HeartbeatStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := HeartbeatStats{
+		Target:   string(h.cfg.Target),
+		Sent:     h.sent,
+		LastPong: h.lastPong,
+		Misses:   h.misses,
+		Failed:   h.failed,
+	}
+	for _, e := range h.events {
+		if e.Type == EventFailure {
+			st.Failures++
+		} else {
+			st.Recoveries++
+		}
+	}
+	return st
 }
 
 // Events returns a copy of the declared events.

@@ -81,10 +81,10 @@ func RunAblation(p Params, variants []AblationVariant, repeats int) (*AblationRe
 		time.Sleep(p.Warmup)
 		priM := tb.cl.Machine(fmt.Sprintf("p%d", protected))
 		inj := startSpikes(tb, priM, 0.4, p.Seed)
-		skip := tb.pipe.Sink().Delays().Count()
+		warmup := tb.pipe.Sink().Delays().Window()
 		time.Sleep(p.Run)
 		inj.Stop()
-		mean := tb.pipe.Sink().Delays().MeanSince(skip)
+		mean := tb.pipe.Sink().Delays().MeanSince(warmup)
 		tb.close()
 
 		res.Rows = append(res.Rows, AblationRow{Label: v.Label, Phases: phases, MeanDelay: mean})

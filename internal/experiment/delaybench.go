@@ -1,0 +1,182 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"streamha/internal/metrics"
+)
+
+// This file measures the observability plane: the cost of recording one
+// delay sample while 1–8 goroutines (sink shards, pollers) hammer the same
+// DelayStats, and the cost of a live percentile query. The bodies are
+// shared between the go-test harness (BenchmarkDelayStats* in
+// bench_metrics_test.go, which CI smoke-runs) and streamha-bench
+// -fig delaystats, so recorded numbers come from the same code.
+//
+// seedDelayStats is a frozen copy of the pre-sharding implementation — one
+// mutex around an ever-growing sample slice — kept as the benchmark
+// baseline so the speedup of the sharded version stays measurable after
+// the old code is gone.
+
+// seedDelayStats is the original mutex-and-slice DelayStats, retained
+// verbatim as a baseline for BenchDelayStatsAddSeed.
+type seedDelayStats struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sum     time.Duration
+	max     time.Duration
+}
+
+func (d *seedDelayStats) Add(v time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.samples = append(d.samples, v)
+	d.sum += v
+	if v > d.max {
+		d.max = v
+	}
+}
+
+func (d *seedDelayStats) Percentile(p float64) time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.samples)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), d.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(p/100*float64(n)+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return sorted[rank]
+}
+
+// delayBenchSample advances a tiny LCG and maps it into a bounded delay
+// band [0, ~100ms) — the shape of steady-state end-to-end delays, where
+// new maxima are rare.
+func delayBenchSample(state *uint64) time.Duration {
+	*state = *state*6364136223846793005 + 1442695040888963407
+	return time.Duration((*state >> 33) % uint64(100*time.Millisecond))
+}
+
+// BenchDelayStatsAdd measures one Add on the sharded DelayStats under
+// RunParallel, the shape of the sink's hot path.
+func BenchDelayStatsAdd(b *testing.B) {
+	var d metrics.DelayStats
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		state := uint64(1)
+		for pb.Next() {
+			d.Add(delayBenchSample(&state))
+		}
+	})
+}
+
+// BenchDelayStatsAddSeed is the same workload against the seed
+// implementation, the baseline for the speedup claim.
+func BenchDelayStatsAddSeed(b *testing.B) {
+	var d seedDelayStats
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		state := uint64(1)
+		for pb.Next() {
+			d.Add(delayBenchSample(&state))
+		}
+	})
+}
+
+// delayBenchPrefill is how many samples the percentile benchmarks record
+// before the timed loop: past the reservoir capacity, so the sharded query
+// cost is the steady-state (fixed-size) one and the seed query cost shows
+// its O(n log n) copy-and-sort.
+const delayBenchPrefill = 200_000
+
+// BenchDelayStatsPercentile measures one live p99 query on the sharded
+// DelayStats after delayBenchPrefill samples.
+func BenchDelayStatsPercentile(b *testing.B) {
+	var d metrics.DelayStats
+	for i := 0; i < delayBenchPrefill; i++ {
+		d.Add(time.Duration(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Percentile(99)
+	}
+}
+
+// BenchDelayStatsPercentileSeed is the same query against the seed
+// implementation.
+func BenchDelayStatsPercentileSeed(b *testing.B) {
+	var d seedDelayStats
+	for i := 0; i < delayBenchPrefill; i++ {
+		d.Add(time.Duration(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Percentile(99)
+	}
+}
+
+// DelayStatsRow is one observability-plane benchmark measurement.
+type DelayStatsRow struct {
+	Name        string
+	NsPerOp     float64
+	BytesPerOp  int64
+	AllocsPerOp int64
+}
+
+// DelayStatsResult holds the observability-plane benchmark sweep.
+type DelayStatsResult struct {
+	Rows []DelayStatsRow
+}
+
+// RunDelayStats runs the metrics benchmarks via testing.Benchmark, outside
+// the go-test harness.
+func RunDelayStats() *DelayStatsResult {
+	res := &DelayStatsResult{}
+	add := func(name string, body func(b *testing.B)) {
+		r := testing.Benchmark(body)
+		res.Rows = append(res.Rows, DelayStatsRow{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	add("add/sharded", BenchDelayStatsAdd)
+	add("add/seed-mutex", BenchDelayStatsAddSeed)
+	add("p99/sharded", BenchDelayStatsPercentile)
+	add("p99/seed-sort", BenchDelayStatsPercentileSeed)
+	return res
+}
+
+// Table renders the result.
+func (r *DelayStatsResult) Table() Table {
+	t := Table{
+		Title:  "Observability plane: DelayStats record and query cost",
+		Note:   "sharded atomic counters + fixed-size reservoir sketch vs the seed's mutex + growing sample slice",
+		Header: []string{"benchmark", "ns/op", "B/op", "allocs/op"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Name,
+			fmt.Sprintf("%.1f", row.NsPerOp),
+			fmt.Sprintf("%d", row.BytesPerOp),
+			fmt.Sprintf("%d", row.AllocsPerOp),
+		})
+	}
+	return t
+}

@@ -137,13 +137,13 @@ func RunFig04(p Params, modes []ha.Mode, fractions []float64) (*Fig04Result, err
 			}
 			utilDone := sampleUtilization(tb, priM)
 
-			skip := tb.pipe.Sink().Delays().Count()
+			warmup := tb.pipe.Sink().Delays().Window()
 			time.Sleep(p.Run)
 			for _, inj := range injectors {
 				inj.Stop()
 			}
 			avgCPU := utilDone()
-			mean := tb.pipe.Sink().Delays().MeanSince(skip)
+			mean := tb.pipe.Sink().Delays().MeanSince(warmup)
 			p99 := tb.pipe.Sink().Delays().Percentile(99)
 			tb.close()
 
@@ -234,12 +234,12 @@ func RunFig05(p Params, fractions []float64) (*Fig05Result, error) {
 			m := tb.cl.Machine(fmt.Sprintf("p%d", i))
 			injectors = append(injectors, startSpikes(tb, m, frac, p.Seed+int64(i)*77))
 		}
-		skip := tb.pipe.Sink().Delays().Count()
+		warmup := tb.pipe.Sink().Delays().Window()
 		time.Sleep(p.Run)
 		for _, inj := range injectors {
 			inj.Stop()
 		}
-		return tb.pipe.Sink().Delays().MeanSince(skip), nil
+		return tb.pipe.Sink().Delays().MeanSince(warmup), nil
 	}
 	for _, frac := range fractions {
 		sharedDelay, err := run(frac, true)

@@ -7,6 +7,7 @@ import (
 	"streamha/internal/checkpoint"
 	"streamha/internal/cluster"
 	"streamha/internal/core"
+	"streamha/internal/metrics"
 	"streamha/internal/queue"
 	"streamha/internal/subjob"
 )
@@ -428,3 +429,75 @@ func (p *Pipeline) Group(i int) *Group { return p.groups[i] }
 
 // Streams returns the logical stream names, source stream first.
 func (p *Pipeline) Streams() []string { return append([]string(nil), p.streams...) }
+
+// RegisterMetrics registers every component of the pipeline in reg:
+// transport traffic, source and sink state, and — per group — the current
+// primary/standby runtimes plus the HA apparatus of the group's mode
+// (controller events, detector quality, checkpoint cadence and sizes).
+// Sources are closures that resolve the group's *current* copies at
+// snapshot time, so the registry keeps tracking across switchover,
+// rollback and migration.
+func (p *Pipeline) RegisterMetrics(reg *metrics.Registry) {
+	reg.Register("transport", func() any { return p.cfg.Cluster.Stats() })
+	reg.Register("source", func() any { return p.source.Stats() })
+	p.sink.RegisterMetrics(reg)
+	for _, g := range p.groups {
+		g := g
+		id := g.Spec.ID
+		reg.Register("subjob/"+id+"/primary", func() any {
+			return g.PrimaryRuntime().Stats()
+		})
+		reg.Register("subjob/"+id+"/standby", func() any {
+			sec := g.SecondaryRuntime()
+			if sec == nil {
+				return nil
+			}
+			return sec.Stats()
+		})
+		switch {
+		case g.Mode == ModeHybrid && g.Hybrid != nil:
+			hc := g.Hybrid
+			reg.Register("ha/"+id, func() any { return hc.Stats() })
+			reg.Register("detector/"+id, func() any {
+				det := hc.Detector()
+				if det == nil {
+					return nil
+				}
+				return det.Stats()
+			})
+			reg.Register("checkpoint/"+id, func() any {
+				if sw, ok := hc.Checkpoint().(*checkpoint.Sweeping); ok {
+					return sw.Stats()
+				}
+				return nil
+			})
+			reg.Register("store/"+id, func() any {
+				if st := hc.DiskStore(); st != nil {
+					return st.Stats()
+				}
+				return nil
+			})
+		case g.Mode == ModePassive && g.PS != nil:
+			ps := g.PS
+			reg.Register("detector/"+id, func() any {
+				det := ps.Detector()
+				if det == nil {
+					return nil
+				}
+				return det.Stats()
+			})
+			reg.Register("checkpoint/"+id, func() any {
+				if cm := ps.Checkpoint(); cm != nil {
+					return cm.Stats()
+				}
+				return nil
+			})
+			reg.Register("store/"+id, func() any {
+				if st := ps.Store(); st != nil {
+					return st.Stats()
+				}
+				return nil
+			})
+		}
+	}
+}

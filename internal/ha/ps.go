@@ -212,6 +212,27 @@ func (p *PS) Migrations() []MigrationEvent {
 	return append([]MigrationEvent(nil), p.migrations...)
 }
 
+// Checkpoint returns the current checkpoint manager, or nil before Start.
+func (p *PS) Checkpoint() *checkpoint.Sweeping {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cm
+}
+
+// Store returns the current checkpoint store, or nil before Start.
+func (p *PS) Store() *checkpoint.Store {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.store
+}
+
+// Detector returns the current heartbeat detector, or nil before Start.
+func (p *PS) Detector() *detect.Heartbeat {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.det
+}
+
 func (p *PS) run() {
 	defer close(p.done)
 	for {

@@ -1,6 +1,8 @@
 // Package metrics collects the measurements the paper's evaluation
-// reports: per-element end-to-end delay statistics, empirical CDFs, and
-// recovery-time decompositions.
+// reports — per-element end-to-end delay statistics, empirical CDFs, and
+// recovery-time decompositions — and aggregates them, with every other
+// component's counters, into a live-pollable Registry. DelayStats (the
+// hot, per-element path) lives in delay.go; the Registry in registry.go.
 package metrics
 
 import (
@@ -8,96 +10,6 @@ import (
 	"sync"
 	"time"
 )
-
-// DelayStats accumulates per-element delay samples, safe for concurrent
-// use. Samples are retained so that percentiles and CDFs can be computed.
-type DelayStats struct {
-	mu      sync.Mutex
-	samples []time.Duration
-	sum     time.Duration
-	max     time.Duration
-}
-
-// Add records one delay sample.
-func (d *DelayStats) Add(v time.Duration) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.samples = append(d.samples, v)
-	d.sum += v
-	if v > d.max {
-		d.max = v
-	}
-}
-
-// Count returns the number of samples.
-func (d *DelayStats) Count() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.samples)
-}
-
-// Mean returns the mean delay, or zero with no samples.
-func (d *DelayStats) Mean() time.Duration {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if len(d.samples) == 0 {
-		return 0
-	}
-	return d.sum / time.Duration(len(d.samples))
-}
-
-// Max returns the largest sample.
-func (d *DelayStats) Max() time.Duration {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.max
-}
-
-// Percentile returns the p-th percentile (0 < p <= 100) by
-// nearest-rank over the recorded samples.
-func (d *DelayStats) Percentile(p float64) time.Duration {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	n := len(d.samples)
-	if n == 0 {
-		return 0
-	}
-	sorted := append([]time.Duration(nil), d.samples...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	rank := int(p/100*float64(n)+0.5) - 1
-	if rank < 0 {
-		rank = 0
-	}
-	if rank >= n {
-		rank = n - 1
-	}
-	return sorted[rank]
-}
-
-// MeanSince returns the mean over samples recorded after the first skip
-// samples — used to exclude warm-up.
-func (d *DelayStats) MeanSince(skip int) time.Duration {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if skip < 0 {
-		skip = 0
-	}
-	if skip >= len(d.samples) {
-		return 0
-	}
-	var sum time.Duration
-	for _, v := range d.samples[skip:] {
-		sum += v
-	}
-	return sum / time.Duration(len(d.samples)-skip)
-}
-
-// Samples returns a copy of all samples.
-func (d *DelayStats) Samples() []time.Duration {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return append([]time.Duration(nil), d.samples...)
-}
 
 // CDFPoint is one point of an empirical CDF.
 type CDFPoint struct {
@@ -180,6 +92,38 @@ func (l *RecoveryLog) Records() []Recovery {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return append([]Recovery(nil), l.records...)
+}
+
+// RecoverySnapshot is a JSON-marshalable summary of a RecoveryLog,
+// exported through the metrics Registry.
+type RecoverySnapshot struct {
+	Recoveries    int     `json:"recoveries"`
+	DetectionMS   float64 `json:"mean_detection_ms"`
+	DeployMS      float64 `json:"mean_deploy_ms"`
+	ReprocessMS   float64 `json:"mean_reprocess_ms"`
+	LastTotalMS   float64 `json:"last_total_ms"`
+	LastFailureAt string  `json:"last_failure_at,omitempty"`
+}
+
+// Snapshot summarizes the log: record count, mean phase durations, and
+// the most recent recovery.
+func (l *RecoveryLog) Snapshot() RecoverySnapshot {
+	det, dep, rep := l.MeanPhases()
+	ms := func(v time.Duration) float64 { return float64(v) / 1e6 }
+	s := RecoverySnapshot{
+		DetectionMS: ms(det),
+		DeployMS:    ms(dep),
+		ReprocessMS: ms(rep),
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s.Recoveries = len(l.records)
+	if n := len(l.records); n > 0 {
+		last := l.records[n-1]
+		s.LastTotalMS = ms(last.Total())
+		s.LastFailureAt = last.FailureAt.Format(time.RFC3339Nano)
+	}
+	return s
 }
 
 // MeanPhases returns the mean of each phase over the records.

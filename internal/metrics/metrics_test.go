@@ -37,17 +37,22 @@ func TestDelayStatsPercentile(t *testing.T) {
 
 func TestDelayStatsMeanSince(t *testing.T) {
 	var d DelayStats
-	for _, v := range []time.Duration{100, 100, 10, 20, 30} {
+	for _, v := range []time.Duration{100, 100} {
 		d.Add(v * time.Millisecond)
 	}
-	if got := d.MeanSince(2); got != 20*time.Millisecond {
-		t.Fatalf("MeanSince(2) = %v", got)
+	warmup := d.Window()
+	for _, v := range []time.Duration{10, 20, 30} {
+		d.Add(v * time.Millisecond)
 	}
-	if got := d.MeanSince(10); got != 0 {
-		t.Fatalf("MeanSince beyond samples = %v", got)
+	if got := d.MeanSince(warmup); got != 20*time.Millisecond {
+		t.Fatalf("MeanSince(warmup) = %v", got)
 	}
-	if got := d.MeanSince(-1); got != 52*time.Millisecond {
-		t.Fatalf("MeanSince(-1) = %v", got)
+	if got := d.MeanSince(d.Window()); got != 0 {
+		t.Fatalf("MeanSince with nothing after = %v", got)
+	}
+	var zero Window
+	if got := d.MeanSince(zero); got != 52*time.Millisecond {
+		t.Fatalf("MeanSince(zero) = %v", got)
 	}
 }
 

@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+)
+
+// Source produces one named component's current metrics value. The value
+// must be JSON-marshalable; it is re-evaluated on every snapshot so a
+// registry poll always observes live state.
+type Source func() any
+
+// Registry aggregates named metric sources — transport traffic, queue
+// depths, checkpoint sizes, detector quality, recovery phases — into one
+// JSON-exportable snapshot that dashboards or the CLIs can poll while the
+// pipeline runs. It is safe for concurrent use; sources are invoked
+// outside the registry lock, so a slow source never blocks registration.
+type Registry struct {
+	mu      sync.RWMutex
+	sources map[string]Source
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sources: make(map[string]Source)}
+}
+
+// Register adds (or replaces) the source under name. Components
+// conventionally namespace their entries, e.g. "subjob/stage@primary" or
+// "transport".
+func (r *Registry) Register(name string, src Source) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sources == nil {
+		r.sources = make(map[string]Source)
+	}
+	r.sources[name] = src
+}
+
+// Unregister removes the source under name, if present.
+func (r *Registry) Unregister(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.sources, name)
+}
+
+// Names returns the registered source names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.sources))
+	for n := range r.sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot evaluates every source and returns the combined view. The
+// source functions run outside the registry lock; each entry is
+// independent, so the snapshot is per-source consistent, not global.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.RLock()
+	sources := make(map[string]Source, len(r.sources))
+	for n, s := range r.sources {
+		sources[n] = s
+	}
+	r.mu.RUnlock()
+	out := make(map[string]any, len(sources))
+	for n, s := range sources {
+		out[n] = s()
+	}
+	return out
+}
+
+// JSON returns the snapshot as indented JSON.
+func (r *Registry) JSON() ([]byte, error) {
+	return json.MarshalIndent(r.Snapshot(), "", "  ")
+}

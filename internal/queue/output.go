@@ -49,13 +49,18 @@ type Subscriber struct {
 	// paper) so that switchover is a flag flip.
 	Active bool
 
-	acked uint64
-}
+	acked uint64 // guarded by Output.mu
 
-// dst is one fan-out destination of a publish.
-type dst struct {
-	node   transport.NodeID
-	stream string
+	// sendMu serializes every transmission to this subscriber — publish
+	// fan-out (which runs outside Output.mu) and activation replay — so
+	// the two cannot interleave and double-deliver.
+	sendMu sync.Mutex
+	// sent is the highest sequence number ever transmitted to this
+	// subscriber, guarded by sendMu. Replay resumes after it (unless
+	// forced), and publish fan-out skips any prefix a concurrent replay
+	// already covered, closing the duplicate-delivery race between an
+	// in-flight Publish and an Activate/ResetSubscriber replay.
+	sent uint64
 }
 
 // Output is the output queue of the last PE of a subjob copy for one
@@ -75,7 +80,7 @@ type Output struct {
 	// rebuilt whenever subscriptions change. Publish reads the slice header
 	// under the lock and iterates it outside the lock, so the hot path
 	// neither allocates nor holds the lock during sends.
-	active []dst
+	active []*Subscriber
 	onTrim func()
 }
 
@@ -103,10 +108,10 @@ func (o *Output) SetOnTrim(f func()) {
 // never mutated, so a Publish that captured it keeps iterating a
 // consistent view.
 func (o *Output) rebuildActiveLocked() {
-	active := make([]dst, 0, len(o.subs))
+	active := make([]*Subscriber, 0, len(o.subs))
 	for _, s := range o.subs {
 		if s.Active {
-			active = append(active, dst{s.Node, s.Stream})
+			active = append(active, s)
 		}
 	}
 	o.active = active
@@ -123,6 +128,7 @@ func (o *Output) Subscribe(node transport.NodeID, stream string, active bool) {
 		Stream: stream,
 		Active: active,
 		acked:  o.floor,
+		sent:   o.floor,
 	}
 	o.rebuildActiveLocked()
 }
@@ -157,7 +163,7 @@ func (o *Output) Activate(node transport.NodeID, active bool) {
 	if s.acked < o.floor {
 		s.acked = o.floor
 	}
-	o.transmitLocked(s, s.acked)
+	o.replayLocked(s, false)
 }
 
 // ResetSubscriber rebinds the subscription for node to a fresh copy
@@ -167,30 +173,47 @@ func (o *Output) ResetSubscriber(oldNode, newNode transport.NodeID, stream strin
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	delete(o.subs, oldNode)
-	s := &Subscriber{Node: newNode, Stream: stream, Active: true, acked: o.floor}
+	s := &Subscriber{Node: newNode, Stream: stream, Active: true, acked: o.floor, sent: o.floor}
 	o.subs[newNode] = s
 	o.rebuildActiveLocked()
-	o.transmitLocked(s, s.acked)
+	o.replayLocked(s, false)
 }
 
-// transmitLocked sends every buffered element with seq > after to s. The
-// batch is copied out of the ring: retained slots are overwritten in place
-// as the ring wraps, so in-flight messages must not alias them.
-func (o *Output) transmitLocked(s *Subscriber, after uint64) {
-	if o.buf.len() == 0 {
+// replayLocked retransmits retained elements to s. The caller holds o.mu;
+// replayLocked additionally takes s.sendMu so the replay is ordered
+// against any in-flight publish fan-out to the same subscriber.
+//
+// Normally replay resumes after max(acked, floor, sent): everything below
+// the send watermark has already been put on the wire by a publish or an
+// earlier replay, so resending it would only duplicate. With force set
+// (RetransmitAll, the in-flight-loss recovery path) the watermark is
+// ignored and everything unacknowledged is resent, since the point there
+// is precisely that earlier sends may have been lost. The batch is copied
+// out of the ring: retained slots are overwritten in place as the ring
+// wraps, so in-flight messages must not alias them.
+func (o *Output) replayLocked(s *Subscriber, force bool) {
+	head := o.floor + uint64(o.buf.len())
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	after := s.acked
+	if after < o.floor {
+		after = o.floor
+	}
+	if !force && after < s.sent {
+		after = s.sent
+	}
+	if s.sent < after {
+		s.sent = after
+	}
+	if after >= head {
 		return
 	}
-	start := 0
-	if after > o.floor {
-		start = int(after - o.floor)
-	}
-	if start >= o.buf.len() {
-		return
-	}
+	batch := o.buf.slice(int(after - o.floor))
+	s.sent = head
 	o.send(s.Node, transport.Message{
 		Kind:     transport.KindData,
 		Stream:   s.Stream,
-		Elements: o.buf.slice(start),
+		Elements: batch,
 	})
 }
 
@@ -214,12 +237,30 @@ func (o *Output) Publish(elems []element.Element) []element.Element {
 	targets := o.active
 	o.mu.Unlock()
 
-	for _, t := range targets {
-		o.send(t.node, transport.Message{
+	first := elems[0].Seq
+	last := elems[len(elems)-1].Seq
+	for _, s := range targets {
+		// Holding sendMu across the send orders this fan-out against any
+		// concurrent activation replay to the same subscriber; the send
+		// watermark then trims whatever prefix such a replay (which runs
+		// under the queue lock, hence after the batch was appended) has
+		// already transmitted, so no element is delivered twice.
+		s.sendMu.Lock()
+		if s.sent >= last {
+			s.sendMu.Unlock()
+			continue
+		}
+		out := elems
+		if s.sent >= first {
+			out = elems[s.sent-first+1:]
+		}
+		s.sent = last
+		o.send(s.Node, transport.Message{
 			Kind:     transport.KindData,
-			Stream:   t.stream,
-			Elements: elems,
+			Stream:   s.Stream,
+			Elements: out,
 		})
+		s.sendMu.Unlock()
 	}
 	return elems
 }
@@ -303,6 +344,12 @@ func (o *Output) Restore(s OutputSnapshot) error {
 		if sub.acked < o.floor {
 			sub.acked = o.floor
 		}
+		// The send watermark described the replaced queue's transmissions;
+		// rewind it to the ack position so the recovery retransmission that
+		// follows a restore is not suppressed.
+		sub.sendMu.Lock()
+		sub.sent = sub.acked
+		sub.sendMu.Unlock()
 	}
 	return nil
 }
@@ -329,6 +376,37 @@ func (o *Output) Floor() uint64 {
 	return o.floor
 }
 
+// OutputStats is a JSON-marshalable view of an output queue's retention
+// and subscription state, exported through the metrics registry.
+type OutputStats struct {
+	Stream            string `json:"stream"`
+	Retained          int    `json:"retained"`
+	Floor             uint64 `json:"floor"`
+	NextSeq           uint64 `json:"next_seq"`
+	Subscribers       int    `json:"subscribers"`
+	ActiveSubscribers int    `json:"active_subscribers"`
+}
+
+// Stats captures the queue's current depth, trim floor and subscription
+// counts in one locked read.
+func (o *Output) Stats() OutputStats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st := OutputStats{
+		Stream:      o.StreamID,
+		Retained:    o.buf.len(),
+		Floor:       o.floor,
+		NextSeq:     o.nextSeq,
+		Subscribers: len(o.subs),
+	}
+	for _, s := range o.subs {
+		if s.Active {
+			st.ActiveSubscribers++
+		}
+	}
+	return st
+}
+
 // AckedBy returns the cumulative ack position of the subscriber on node.
 func (o *Output) AckedBy(node transport.NodeID) (uint64, bool) {
 	o.mu.Lock()
@@ -341,9 +419,10 @@ func (o *Output) AckedBy(node transport.NodeID) (uint64, bool) {
 }
 
 // RetransmitAll resends every retained element each active subscriber has
-// not acknowledged. Recovery paths call it after restoring a copy's output
-// queue, covering data that may have been lost in flight when its peer
-// failed; downstream deduplication absorbs any excess.
+// not acknowledged, ignoring the per-subscriber send watermark. Recovery
+// paths call it after restoring a copy's output queue, covering data that
+// may have been lost in flight when its peer failed; downstream
+// deduplication absorbs any excess.
 func (o *Output) RetransmitAll() {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -351,10 +430,6 @@ func (o *Output) RetransmitAll() {
 		if !s.Active {
 			continue
 		}
-		after := s.acked
-		if after < o.floor {
-			after = o.floor
-		}
-		o.transmitLocked(s, after)
+		o.replayLocked(s, true)
 	}
 }

@@ -401,3 +401,32 @@ func (r *Runtime) Backlog() int {
 	}
 	return n
 }
+
+// Stats is a JSON-marshalable point-in-time view of one subjob copy,
+// exported through the metrics registry.
+type Stats struct {
+	Subjob    string            `json:"subjob"`
+	Node      string            `json:"node"`
+	Suspended bool              `json:"suspended"`
+	Backlog   int               `json:"backlog"`
+	InputLen  int               `json:"input_len"`
+	InputDups int               `json:"input_dups"`
+	InputGaps int               `json:"input_gaps"`
+	Output    queue.OutputStats `json:"output"`
+}
+
+// Stats captures the copy's queue depths, dedup counters and output
+// retention state.
+func (r *Runtime) Stats() Stats {
+	dups, gaps := r.in.Drops()
+	return Stats{
+		Subjob:    r.spec.ID,
+		Node:      string(r.Node()),
+		Suspended: r.Suspended(),
+		Backlog:   r.Backlog(),
+		InputLen:  r.in.Len(),
+		InputDups: dups,
+		InputGaps: gaps,
+		Output:    r.out.Stats(),
+	}
+}

@@ -1,6 +1,9 @@
 package transport
 
-import "sync/atomic"
+import (
+	"encoding/json"
+	"sync/atomic"
+)
 
 // Stats is a snapshot of cumulative traffic counters, broken down by message
 // kind. Element counts use Message.ElementUnits, matching the paper's
@@ -36,6 +39,34 @@ func (s Stats) DataElements() int64 { return s.Elements[KindData] }
 // read-state messages.
 func (s Stats) CheckpointElements() int64 {
 	return s.Elements[KindCheckpoint] + s.Elements[KindReadStateResp]
+}
+
+// MarshalJSON renders the counters keyed by message-kind name, with the
+// aggregate totals the paper's overhead figures use, so a Stats value can
+// be exported directly through the metrics registry.
+func (s Stats) MarshalJSON() ([]byte, error) {
+	named := func(m map[Kind]int64) map[string]int64 {
+		out := make(map[string]int64, len(m))
+		for k, v := range m {
+			out[k.String()] = v
+		}
+		return out
+	}
+	return json.Marshal(struct {
+		Messages           map[string]int64 `json:"messages"`
+		Elements           map[string]int64 `json:"elements"`
+		TotalMessages      int64            `json:"total_messages"`
+		TotalElements      int64            `json:"total_elements"`
+		DataElements       int64            `json:"data_elements"`
+		CheckpointElements int64            `json:"checkpoint_elements"`
+	}{
+		Messages:           named(s.Messages),
+		Elements:           named(s.Elements),
+		TotalMessages:      s.TotalMessages(),
+		TotalElements:      s.TotalElements(),
+		DataElements:       s.DataElements(),
+		CheckpointElements: s.CheckpointElements(),
+	})
 }
 
 // Sub returns the counter deltas s minus earlier, for measuring traffic over

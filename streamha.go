@@ -117,6 +117,11 @@ const (
 type (
 	// DelayStats accumulates per-element end-to-end delay samples.
 	DelayStats = metrics.DelayStats
+	// DelaySnapshot is a JSON-marshalable point-in-time view of a DelayStats.
+	DelaySnapshot = metrics.DelaySnapshot
+	// Registry aggregates named metric sources into one JSON-exportable
+	// snapshot; fill it with Pipeline.RegisterMetrics.
+	Registry = metrics.Registry
 )
 
 // Built-in synthetic logics, usable as templates for custom operators.
@@ -147,6 +152,10 @@ func NewTopology(cfg TopologyConfig) (*Topology, error) { return ha.NewTopology(
 // NewInjector creates a transient-failure injector; call Start to begin
 // injecting load spikes.
 func NewInjector(cfg InjectorConfig) *Injector { return failure.NewInjector(cfg) }
+
+// NewRegistry creates an empty metrics registry (the zero value also
+// works); register a deployed pipeline with Pipeline.RegisterMetrics.
+func NewRegistry() *Registry { return metrics.NewRegistry() }
 
 // GapForFraction returns the idle gap between spikes that makes transient
 // failures present for the given fraction of time at the given duration.
