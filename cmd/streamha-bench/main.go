@@ -9,8 +9,9 @@
 //
 // Figures: 1, 2 (covers 3), 4, 5, 6, 7, 8, 9 (covers 10), 11, 12 (covers
 // 13), plus "sweeping" (Section III), "ablation" (Section IV-B),
-// "throughput" (data-plane publish/ack/trim microbenchmarks) and
-// "delaystats" (observability-plane record/query microbenchmarks).
+// "throughput" (data-plane publish/ack/trim microbenchmarks),
+// "delaystats" (observability-plane record/query microbenchmarks) and
+// "wire" (frame codec and latency-scheduler microbenchmarks).
 package main
 
 import (
@@ -25,7 +26,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1,2,4,5,6,7,8,9,11,12,sweeping,ablation,throughput,delaystats or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1,2,4,5,6,7,8,9,11,12,sweeping,ablation,throughput,delaystats,wire or all")
 	quick := flag.Bool("quick", false, "reduced sweeps and repeats for a fast look")
 	flag.Parse()
 
@@ -195,9 +196,15 @@ func run(fig string, quick bool) error {
 		show(r.Table(), time.Since(start))
 	}
 
+	if want("wire") {
+		start := time.Now()
+		r := experiment.RunWire()
+		show(r.Table(), time.Since(start))
+	}
+
 	if !ran {
 		return fmt.Errorf("unknown figure %q (try: %s)", fig,
-			strings.Join([]string{"1", "2", "4", "5", "6", "7", "8", "9", "11", "12", "sweeping", "ablation", "throughput", "delaystats", "all"}, ", "))
+			strings.Join([]string{"1", "2", "4", "5", "6", "7", "8", "9", "11", "12", "sweeping", "ablation", "throughput", "delaystats", "wire", "all"}, ", "))
 	}
 	return nil
 }

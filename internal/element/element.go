@@ -60,6 +60,36 @@ func Decode(b []byte) (Element, error) {
 	}, nil
 }
 
+// AppendBatch appends the fixed-width binary encoding of each element in
+// elems to dst and returns the extended slice. The encoding is the
+// concatenation of AppendEncode outputs; the caller records the count.
+func AppendBatch(dst []byte, elems []Element) []byte {
+	for _, e := range elems {
+		dst = e.AppendEncode(dst)
+	}
+	return dst
+}
+
+// DecodeBatch parses n fixed-width elements from b, appending them to dst
+// (which may be nil), and returns the extended slice together with the
+// unconsumed remainder of b.
+func DecodeBatch(dst []Element, b []byte, n int) ([]Element, []byte, error) {
+	if n < 0 || n > len(b)/EncodedSize {
+		return dst, b, fmt.Errorf("element: batch of %d elements needs %d bytes, have %d", n, n*EncodedSize, len(b))
+	}
+	if dst == nil && n > 0 {
+		dst = make([]Element, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		e, err := Decode(b[i*EncodedSize:])
+		if err != nil {
+			return dst, b, err
+		}
+		dst = append(dst, e)
+	}
+	return dst, b[n*EncodedSize:], nil
+}
+
 // CloneBatch returns an independent copy of a batch. The data plane shares
 // published batches across subscribers without copying (see the queue
 // package's ownership rules); a consumer that needs to mutate or retain a

@@ -49,6 +49,59 @@ func TestAppendEncodeAppends(t *testing.T) {
 	}
 }
 
+func TestBatchRoundTrip(t *testing.T) {
+	batch := []Element{
+		{ID: 1, Origin: -5, Seq: 1, Payload: 100},
+		{ID: 2, Origin: 123456, Seq: 2, Payload: -100},
+		{ID: 1<<64 - 1, Origin: 1<<63 - 1, Seq: 3, Payload: -1 << 62},
+	}
+	b := AppendBatch([]byte{9, 9}, batch) // with a prefix to leave intact
+	if len(b) != 2+len(batch)*EncodedSize {
+		t.Fatalf("encoded %d bytes", len(b))
+	}
+	got, rest, err := DecodeBatch(nil, b[2:], len(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+	for i := range batch {
+		if got[i] != batch[i] {
+			t.Fatalf("element %d: got %+v want %+v", i, got[i], batch[i])
+		}
+	}
+}
+
+func TestDecodeBatchAppendsAndReturnsRemainder(t *testing.T) {
+	batch := []Element{{ID: 7, Seq: 1}, {ID: 8, Seq: 2}}
+	b := append(AppendBatch(nil, batch), 0xEE, 0xFF)
+	dst := []Element{{ID: 1}}
+	got, rest, err := DecodeBatch(dst, b, len(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].ID != 1 || got[1].ID != 7 || got[2].ID != 8 {
+		t.Fatalf("appended decode %+v", got)
+	}
+	if len(rest) != 2 || rest[0] != 0xEE {
+		t.Fatalf("remainder %v", rest)
+	}
+}
+
+func TestDecodeBatchRejectsShortBuffer(t *testing.T) {
+	b := AppendBatch(nil, []Element{{ID: 1}})
+	if _, _, err := DecodeBatch(nil, b, 2); err == nil {
+		t.Fatal("want error decoding 2 elements from 1-element buffer")
+	}
+	if _, _, err := DecodeBatch(nil, b, -1); err == nil {
+		t.Fatal("want error on negative count")
+	}
+	if got, rest, err := DecodeBatch(nil, b, 0); err != nil || len(got) != 0 || len(rest) != EncodedSize {
+		t.Fatalf("zero-count decode: %v %v %v", got, rest, err)
+	}
+}
+
 func TestDeriveIDIdentityForFirstOutput(t *testing.T) {
 	for _, id := range []uint64{0, 1, 42, 1 << 60} {
 		if got := DeriveID(id, 0); got != id {

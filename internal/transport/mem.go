@@ -1,7 +1,7 @@
 package transport
 
 import (
-	"container/heap"
+	"math"
 	"sync"
 	"time"
 
@@ -26,8 +26,9 @@ type MemConfig struct {
 // Delivery is sharded per receiver: the node registry is guarded by a
 // read/write lock the hot send path only read-locks, and each receiver has
 // its own inbox lock, so concurrent senders to different nodes never
-// contend on a common exclusive lock. Only the latency scheduler's pending
-// heap is a shared structure, and it is guarded by its own lock.
+// contend on a common exclusive lock. The latency scheduler is a timing
+// wheel (see wheel.go) whose buckets are individually locked, so delayed
+// sends append in O(1) without a global scheduler mutex.
 type Mem struct {
 	cfg MemConfig
 
@@ -39,11 +40,11 @@ type Mem struct {
 	down   map[NodeID]bool
 	closed bool
 
-	// schedMu guards the latency scheduler's pending-delivery heap. It is
-	// untouched when Latency is zero.
-	schedMu sync.Mutex
-	queue   deliveryQueue
-	seq     uint64
+	// wheel is the latency scheduler's pending-delivery timing wheel. It is
+	// nil when Latency is zero. laneSeq assigns each registered node a
+	// stable wheel lane, round-robin (guarded by regMu).
+	wheel   *timingWheel
+	laneSeq int
 	wake    chan struct{}
 
 	obsMu    sync.RWMutex
@@ -51,10 +52,6 @@ type Mem struct {
 
 	stats counters
 }
-
-// pendingPool recycles pendingDelivery entries between heap push and pop,
-// so the latency scheduler allocates nothing in steady state.
-var pendingPool = sync.Pool{New: func() any { return new(pendingDelivery) }}
 
 // SetObserver installs a hook invoked synchronously on every Send (before
 // latency and drop handling), for experiments that need per-destination
@@ -81,6 +78,7 @@ func NewMem(cfg MemConfig) *Mem {
 		wake:  make(chan struct{}, 1),
 	}
 	if cfg.Latency > 0 {
+		m.wheel = newTimingWheel(cfg.Latency)
 		go m.schedule()
 	}
 	return m
@@ -94,6 +92,8 @@ func (m *Mem) Register(id NodeID, h Handler) (Endpoint, error) {
 		return nil, ErrDuplicateNode
 	}
 	n := newMemNode(m, id, h)
+	n.lane = m.laneSeq
+	m.laneSeq++
 	m.nodes[id] = n
 	return n, nil
 }
@@ -139,7 +139,7 @@ func (m *Mem) signal() {
 	}
 }
 
-func (m *Mem) send(from NodeID, to NodeID, msg Message) {
+func (m *Mem) send(lane int, from NodeID, to NodeID, msg Message) {
 	m.stats.record(msg.Kind, msg.ElementUnits())
 	m.obsMu.RLock()
 	obs := m.observer
@@ -174,21 +174,27 @@ func (m *Mem) send(from NodeID, to NodeID, msg Message) {
 	if blocked {
 		return
 	}
-	pd := pendingPool.Get().(*pendingDelivery)
-	pd.at = m.cfg.Clock.Now().Add(m.cfg.Latency)
-	pd.from = from
-	pd.to = to
-	pd.msg = msg
-	m.schedMu.Lock()
-	m.seq++
-	pd.seq = m.seq
-	heap.Push(&m.queue, pd)
-	m.schedMu.Unlock()
+	m.wheel.add(m.cfg.Clock.Now().Add(m.cfg.Latency), lane, from, to, msg)
 	m.signal()
 }
 
-// schedule is the delivery loop used when latency is non-zero.
+// schedule is the delivery loop used when latency is non-zero. Each pass
+// collects every mature wheel batch in delivery order, hands the entries
+// to the receivers' mailboxes, and sleeps until the earliest pending tick
+// (or a sender's wake-up).
 func (m *Mem) schedule() {
+	deliver := func(entries []wheelEntry) {
+		for i := range entries {
+			e := &entries[i]
+			m.regMu.RLock()
+			n := m.nodes[e.to]
+			delivered := n != nil && !m.down[e.to] && !m.down[e.from]
+			m.regMu.RUnlock()
+			if delivered {
+				n.box.enqueue(e.from, e.msg)
+			}
+		}
+	}
 	for {
 		m.regMu.RLock()
 		closed := m.closed
@@ -196,35 +202,13 @@ func (m *Mem) schedule() {
 		if closed {
 			return
 		}
-		now := m.cfg.Clock.Now()
-		var wait time.Duration = -1
-		for {
-			m.schedMu.Lock()
-			if m.queue.Len() == 0 {
-				m.schedMu.Unlock()
-				break
-			}
-			next := m.queue[0]
-			if next.at.After(now) {
-				wait = next.at.Sub(now)
-				m.schedMu.Unlock()
-				break
-			}
-			heap.Pop(&m.queue)
-			m.schedMu.Unlock()
-
-			m.regMu.RLock()
-			n := m.nodes[next.to]
-			delivered := n != nil && !m.down[next.to] && !m.down[next.from]
-			m.regMu.RUnlock()
-			if delivered {
-				n.box.enqueue(next.from, next.msg)
-			}
-			*next = pendingDelivery{}
-			pendingPool.Put(next)
-		}
-		if wait < 0 {
+		next := m.wheel.collect(m.cfg.Clock.Now(), deliver)
+		if next == math.MaxInt64 {
 			<-m.wake
+			continue
+		}
+		wait := m.wheel.timeAt(next).Sub(m.cfg.Clock.Now())
+		if wait <= 0 {
 			continue
 		}
 		select {
@@ -234,41 +218,14 @@ func (m *Mem) schedule() {
 	}
 }
 
-type pendingDelivery struct {
-	at   time.Time
-	seq  uint64
-	from NodeID
-	to   NodeID
-	msg  Message
-}
-
-type deliveryQueue []*pendingDelivery
-
-func (q deliveryQueue) Len() int { return len(q) }
-func (q deliveryQueue) Less(i, j int) bool {
-	if q[i].at.Equal(q[j].at) {
-		return q[i].seq < q[j].seq
-	}
-	return q[i].at.Before(q[j].at)
-}
-func (q deliveryQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *deliveryQueue) Push(x any)   { *q = append(*q, x.(*pendingDelivery)) }
-func (q *deliveryQueue) Pop() any {
-	old := *q
-	n := len(old)
-	item := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return item
-}
-
 // memNode is one registered endpoint whose mailbox is drained by a
 // dedicated dispatch goroutine, so slow handlers never block the network
 // scheduler or other receivers.
 type memNode struct {
-	net *Mem
-	id  NodeID
-	box *mailbox
+	net  *Mem
+	id   NodeID
+	lane int // stable wheel lane; see wheelLanes
+	box  *mailbox
 }
 
 var _ Endpoint = (*memNode)(nil)
@@ -285,7 +242,7 @@ func (n *memNode) Send(to NodeID, msg Message) error {
 	if n.box.isClosed() {
 		return ErrClosed
 	}
-	n.net.send(n.id, to, msg)
+	n.net.send(n.lane, n.id, to, msg)
 	return nil
 }
 

@@ -7,10 +7,42 @@ import (
 
 // Stats is a snapshot of cumulative traffic counters, broken down by message
 // kind. Element counts use Message.ElementUnits, matching the paper's
-// element-based overhead accounting.
+// element-based overhead accounting. Wire holds the socket-level counters
+// maintained by the TCP transport; it stays zero on the in-memory network.
 type Stats struct {
 	Messages map[Kind]int64
 	Elements map[Kind]int64
+	Wire     WireStats
+}
+
+// WireStats counts socket-level wire activity on a TCP segment: encoded
+// frames and bytes out, write batches (each batch is one queue drain,
+// flushed with as few socket writes as possible), decoded frames and bytes
+// in, and frames dropped because the peer was unreachable, the connection
+// died mid-batch, or the outbound queue overflowed.
+type WireStats struct {
+	FramesSent    int64 `json:"frames_sent"`
+	BytesSent     int64 `json:"bytes_sent"`
+	Batches       int64 `json:"batches"`
+	FramesRecv    int64 `json:"frames_recv"`
+	BytesRecv     int64 `json:"bytes_recv"`
+	FramesDropped int64 `json:"frames_dropped"`
+}
+
+// IsZero reports whether no wire activity was recorded (always true for
+// the in-memory network).
+func (w WireStats) IsZero() bool { return w == WireStats{} }
+
+// Sub returns the counter deltas w minus earlier.
+func (w WireStats) Sub(earlier WireStats) WireStats {
+	return WireStats{
+		FramesSent:    w.FramesSent - earlier.FramesSent,
+		BytesSent:     w.BytesSent - earlier.BytesSent,
+		Batches:       w.Batches - earlier.Batches,
+		FramesRecv:    w.FramesRecv - earlier.FramesRecv,
+		BytesRecv:     w.BytesRecv - earlier.BytesRecv,
+		FramesDropped: w.FramesDropped - earlier.FramesDropped,
+	}
 }
 
 // TotalElements returns the total element units across all kinds: the
@@ -52,6 +84,10 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		}
 		return out
 	}
+	var wire *WireStats
+	if !s.Wire.IsZero() {
+		wire = &s.Wire
+	}
 	return json.Marshal(struct {
 		Messages           map[string]int64 `json:"messages"`
 		Elements           map[string]int64 `json:"elements"`
@@ -59,6 +95,7 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		TotalElements      int64            `json:"total_elements"`
 		DataElements       int64            `json:"data_elements"`
 		CheckpointElements int64            `json:"checkpoint_elements"`
+		Wire               *WireStats       `json:"wire,omitempty"`
 	}{
 		Messages:           named(s.Messages),
 		Elements:           named(s.Elements),
@@ -66,6 +103,7 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		TotalElements:      s.TotalElements(),
 		DataElements:       s.DataElements(),
 		CheckpointElements: s.CheckpointElements(),
+		Wire:               wire,
 	})
 }
 
@@ -79,6 +117,7 @@ func (s Stats) Sub(earlier Stats) Stats {
 	for k, v := range s.Elements {
 		out.Elements[k] = v - earlier.Elements[k]
 	}
+	out.Wire = s.Wire.Sub(earlier.Wire)
 	return out
 }
 
@@ -87,6 +126,14 @@ func (s Stats) Sub(earlier Stats) Stats {
 type counters struct {
 	messages [KindControl + 1]atomic.Int64
 	elements [KindControl + 1]atomic.Int64
+
+	// Socket-level wire counters, maintained only by the TCP transport.
+	wireFramesSent atomic.Int64
+	wireBytesSent  atomic.Int64
+	wireBatches    atomic.Int64
+	wireFramesRecv atomic.Int64
+	wireBytesRecv  atomic.Int64
+	wireDropped    atomic.Int64
 }
 
 // record counts one message of kind k carrying units element units. It
@@ -112,6 +159,14 @@ func (c *counters) snapshot() Stats {
 		if n := c.elements[k].Load(); n != 0 {
 			s.Elements[k] = n
 		}
+	}
+	s.Wire = WireStats{
+		FramesSent:    c.wireFramesSent.Load(),
+		BytesSent:     c.wireBytesSent.Load(),
+		Batches:       c.wireBatches.Load(),
+		FramesRecv:    c.wireFramesRecv.Load(),
+		BytesRecv:     c.wireBytesRecv.Load(),
+		FramesDropped: c.wireDropped.Load(),
 	}
 	return s
 }

@@ -1,11 +1,16 @@
 package transport
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // TCPConfig configures a TCP network segment: the nodes hosted by this
@@ -17,12 +22,25 @@ type TCPConfig struct {
 	// Peers maps remote node IDs to the listen addresses of the processes
 	// hosting them. Nodes registered locally do not need entries.
 	Peers map[NodeID]string
+	// Codec selects the wire encoding for outbound connections. The zero
+	// value is CodecBinary; CodecGob keeps the seed's gob framing as a
+	// frozen baseline. Inbound connections auto-detect the peer's codec
+	// from its preamble, so mixed-codec deployments interoperate.
+	Codec Codec
+	// StrictRoutes makes Send return ErrNoRoute when the destination is
+	// neither hosted locally nor listed in Peers, instead of dropping
+	// silently. Messages to known-but-down or unreachable nodes still drop
+	// silently: those model machine failures, which the HA layer recovers
+	// from; a missing route is a deployment misconfiguration.
+	StrictRoutes bool
 }
 
 // TCP implements Network over real sockets for genuine multi-process
 // deployments. Each process hosts one or more nodes; messages to local
 // nodes loop back in-process, messages to remote nodes travel over one
-// persistent gob-encoded connection per destination process.
+// persistent connection per destination process, encoded with the binary
+// wire codec (see codec.go) and written in batches — the writer drains its
+// queue into one buffer and flushes it with a single socket write.
 //
 // Delivery semantics match the in-memory network: FIFO per (sender,
 // receiver) pair while a connection lasts, and silent drop when the
@@ -31,13 +49,14 @@ type TCPConfig struct {
 type TCP struct {
 	cfg TCPConfig
 
-	// mu guards the registry and connection table. The hot send path takes
+	// mu guards the registry and connection tables. The hot send path takes
 	// it in read mode; registration, failure injection, lazy dialing and
 	// shutdown take it in write mode.
 	mu       sync.RWMutex
 	locals   map[NodeID]*tcpEndpoint
 	down     map[NodeID]bool
-	outbound map[string]*tcpConn // peer address -> connection
+	outbound map[string]*tcpConn   // peer address -> connection
+	inbound  map[net.Conn]struct{} // accepted connections, closed on Close
 	listener net.Listener
 	closed   bool
 	wg       sync.WaitGroup
@@ -47,7 +66,7 @@ type TCP struct {
 
 var _ Network = (*TCP)(nil)
 
-// tcpFrame is the wire unit.
+// tcpFrame is the wire unit (and the gob codec's wire type).
 type tcpFrame struct {
 	From NodeID
 	To   NodeID
@@ -62,6 +81,7 @@ func NewTCP(cfg TCPConfig) (*TCP, error) {
 		locals:   make(map[NodeID]*tcpEndpoint),
 		down:     make(map[NodeID]bool),
 		outbound: make(map[string]*tcpConn),
+		inbound:  make(map[net.Conn]struct{}),
 	}
 	if cfg.Listen != "" {
 		ln, err := net.Listen("tcp", cfg.Listen)
@@ -112,7 +132,8 @@ func (t *TCP) SetDown(id NodeID, down bool) {
 // Stats implements Network.
 func (t *TCP) Stats() Stats { return t.stats.snapshot() }
 
-// Close stops the listener, closes every connection and endpoint.
+// Close stops the listener, closes every connection and endpoint, and waits
+// for the writer and serve goroutines to exit.
 func (t *TCP) Close() {
 	t.mu.Lock()
 	if t.closed {
@@ -125,6 +146,10 @@ func (t *TCP) Close() {
 	for _, c := range t.outbound {
 		conns = append(conns, c)
 	}
+	accepted := make([]net.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		accepted = append(accepted, c)
+	}
 	eps := make([]*tcpEndpoint, 0, len(t.locals))
 	for _, ep := range t.locals {
 		eps = append(eps, ep)
@@ -136,6 +161,9 @@ func (t *TCP) Close() {
 	}
 	for _, c := range conns {
 		c.close()
+	}
+	for _, c := range accepted {
+		_ = c.Close()
 	}
 	for _, ep := range eps {
 		_ = ep.Close()
@@ -150,21 +178,83 @@ func (t *TCP) accept() {
 		if err != nil {
 			return
 		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
 		t.wg.Add(1)
+		t.mu.Unlock()
 		go t.serve(conn)
 	}
 }
 
-// serve decodes inbound frames and dispatches them to local endpoints.
+// serve reads the peer's codec preamble, then decodes inbound frames and
+// dispatches them to local endpoints.
 func (t *TCP) serve(conn net.Conn) {
 	defer t.wg.Done()
-	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	defer func() {
+		_ = conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	magic, err := br.Peek(magicLen)
+	if err != nil {
+		return
+	}
+	if _, err := br.Discard(magicLen); err != nil {
+		return
+	}
+	switch string(magic) {
+	case magicBinary:
+		t.serveBinary(br)
+	case magicGob:
+		t.serveGob(br)
+	default:
+		// Unknown peer protocol: drop the connection.
+	}
+}
+
+// serveBinary is the read loop for the length-prefixed binary codec. The
+// payload buffer is reused across frames; decodeFramePayload copies out
+// everything it keeps.
+func (t *TCP) serveBinary(br *bufio.Reader) {
+	var payload []byte
+	for {
+		size, err := binary.ReadUvarint(br)
+		if err != nil || size > maxWireFrame {
+			return
+		}
+		if uint64(cap(payload)) < size {
+			payload = make([]byte, size)
+		}
+		payload = payload[:size]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return
+		}
+		from, to, msg, err := decodeFramePayload(payload)
+		if err != nil {
+			return
+		}
+		t.stats.wireFramesRecv.Add(1)
+		t.stats.wireBytesRecv.Add(int64(uvarintLen(size)) + int64(size))
+		t.deliverLocal(from, to, msg)
+	}
+}
+
+// serveGob is the read loop for the gob baseline codec.
+func (t *TCP) serveGob(br *bufio.Reader) {
+	dec := gob.NewDecoder(br)
 	for {
 		var f tcpFrame
 		if err := dec.Decode(&f); err != nil {
 			return
 		}
+		t.stats.wireFramesRecv.Add(1)
 		t.deliverLocal(f.From, f.To, f.Msg)
 	}
 }
@@ -181,33 +271,38 @@ func (t *TCP) deliverLocal(from, to NodeID, msg Message) {
 }
 
 // send routes a message: loopback for local destinations, socket for
-// remote ones, silent drop for unknown or unreachable destinations.
-func (t *TCP) send(from NodeID, to NodeID, msg Message) {
+// remote ones, silent drop for unknown or unreachable destinations (or
+// ErrNoRoute for unknown ones under StrictRoutes).
+func (t *TCP) send(from NodeID, to NodeID, msg Message) error {
 	t.stats.record(msg.Kind, msg.ElementUnits())
 	t.mu.RLock()
 	if t.closed || t.down[from] || t.down[to] {
 		t.mu.RUnlock()
-		return
+		return nil
 	}
 	if ep := t.locals[to]; ep != nil {
 		t.mu.RUnlock()
 		ep.enqueue(from, msg)
-		return
+		return nil
 	}
 	addr, ok := t.cfg.Peers[to]
 	if !ok {
 		t.mu.RUnlock()
-		return
+		if t.cfg.StrictRoutes {
+			return ErrNoRoute
+		}
+		return nil
 	}
 	c := t.outbound[addr]
 	t.mu.RUnlock()
 	if c == nil {
 		c = t.dial(addr)
 		if c == nil {
-			return
+			return nil
 		}
 	}
 	c.write(tcpFrame{From: from, To: to, Msg: msg})
+	return nil
 }
 
 // dial creates (or returns the winner of a racing create of) the
@@ -221,30 +316,49 @@ func (t *TCP) dial(addr string) *tcpConn {
 	}
 	c := t.outbound[addr]
 	if c == nil {
-		c = newTCPConn(addr)
+		c = newTCPConn(addr, t.cfg.Codec, &t.stats)
 		t.outbound[addr] = c
 	}
 	return c
 }
 
 // tcpConn is one lazily-dialed persistent outbound connection with a
-// writer goroutine, so senders never block on the socket.
+// writer goroutine, so senders never block on the socket. The writer
+// drains the queue in batches: each batch dials at most once (dropping the
+// batch if the peer is unreachable), encodes every frame into one buffer,
+// and hands the buffer to the socket in as few writes as possible.
 type tcpConn struct {
-	addr string
+	addr  string
+	codec Codec
+	stats *counters
 
 	mu     sync.Mutex
 	queue  []tcpFrame
 	cond   *sync.Cond
+	conn   net.Conn // live socket, mirrored here so close() can interrupt I/O
 	closed bool
 	done   chan struct{}
+
+	// Writer-goroutine state; touched only by writer.
+	sock net.Conn
+	enc  *gob.Encoder
+	wire []byte
 }
 
-// outboundQueueCap bounds buffered frames per peer; beyond it the oldest
-// are dropped, mirroring a congested link.
-const outboundQueueCap = 4096
+const (
+	// outboundQueueCap bounds buffered frames per peer; beyond it the
+	// oldest are dropped, mirroring a congested link.
+	outboundQueueCap = 4096
+	// tcpDialTimeout bounds one dial attempt, and with it how long close()
+	// can block waiting for the writer.
+	tcpDialTimeout = 2 * time.Second
+	// wireFlushChunk is the encode-buffer size that triggers a mid-batch
+	// flush, keeping the buffer bounded under large batches.
+	wireFlushChunk = 64 << 10
+)
 
-func newTCPConn(addr string) *tcpConn {
-	c := &tcpConn{addr: addr, done: make(chan struct{})}
+func newTCPConn(addr string, codec Codec, stats *counters) *tcpConn {
+	c := &tcpConn{addr: addr, codec: codec, stats: stats, done: make(chan struct{})}
 	c.cond = sync.NewCond(&c.mu)
 	go c.writer()
 	return c
@@ -258,30 +372,35 @@ func (c *tcpConn) write(f tcpFrame) {
 	}
 	if len(c.queue) >= outboundQueueCap {
 		c.queue = c.queue[1:]
+		c.stats.wireDropped.Add(1)
 	}
 	c.queue = append(c.queue, f)
 	c.cond.Signal()
 }
 
+// close marks the connection closed, interrupts any in-flight socket I/O,
+// and waits for the writer goroutine to exit, so TCP.Close cannot leak a
+// writer mid-flush.
 func (c *tcpConn) close() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
+		<-c.done
 		return
 	}
 	c.closed = true
+	conn := c.conn
 	c.cond.Broadcast()
+	c.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+	<-c.done
 }
 
 func (c *tcpConn) writer() {
 	defer close(c.done)
-	var conn net.Conn
-	var enc *gob.Encoder
-	defer func() {
-		if conn != nil {
-			conn.Close()
-		}
-	}()
+	defer c.resetConn()
 	// spare is the recycled second frame buffer (see mailbox.dispatch): the
 	// drained batch is scrubbed and swapped back in as the next queue, so
 	// the writer allocates nothing in steady state.
@@ -299,20 +418,13 @@ func (c *tcpConn) writer() {
 		c.queue = spare[:0]
 		c.mu.Unlock()
 
-		for i := range batch {
-			if conn == nil {
-				var err error
-				conn, err = net.Dial("tcp", c.addr)
-				if err != nil {
-					conn = nil
-					continue // drop the frame: destination unreachable
-				}
-				enc = gob.NewEncoder(conn)
-			}
-			if err := enc.Encode(&batch[i]); err != nil {
-				conn.Close()
-				conn, enc = nil, nil
-			}
+		sent := c.writeBatch(batch)
+		if sent > 0 {
+			c.stats.wireFramesSent.Add(int64(sent))
+			c.stats.wireBatches.Add(1)
+		}
+		if dropped := len(batch) - sent; dropped > 0 {
+			c.stats.wireDropped.Add(int64(dropped))
 		}
 		// Scrub frame payload references before recycling the buffer.
 		for i := range batch {
@@ -320,6 +432,123 @@ func (c *tcpConn) writer() {
 		}
 		spare = batch
 	}
+}
+
+// writeBatch encodes and writes one drained batch, dialing at most once.
+// It returns how many frames reached the socket; the rest are dropped
+// (destination unreachable or connection lost mid-batch).
+func (c *tcpConn) writeBatch(batch []tcpFrame) int {
+	if c.sock == nil && !c.dialOnce() {
+		return 0
+	}
+	if c.codec == CodecGob {
+		for i := range batch {
+			if err := c.enc.Encode(&batch[i]); err != nil {
+				c.resetConn()
+				return i
+			}
+		}
+		return len(batch)
+	}
+	wire := c.wire[:0]
+	sent := 0    // frames confirmed written
+	pending := 0 // frames encoded into wire, awaiting flush
+	for i := range batch {
+		f := &batch[i]
+		wire = AppendFrame(wire, f.From, f.To, &f.Msg)
+		pending++
+		if len(wire) >= wireFlushChunk {
+			if !c.flush(wire) {
+				c.wire = nil
+				return sent
+			}
+			sent += pending
+			pending = 0
+			wire = wire[:0]
+		}
+	}
+	if len(wire) > 0 {
+		if !c.flush(wire) {
+			c.wire = nil
+			return sent
+		}
+		sent += pending
+	}
+	// Keep the encode buffer for the next batch unless a jumbo frame
+	// ballooned it.
+	if cap(wire) <= 4*wireFlushChunk {
+		c.wire = wire[:0]
+	} else {
+		c.wire = nil
+	}
+	return sent
+}
+
+// flush writes buf to the socket, resetting the connection on error.
+func (c *tcpConn) flush(buf []byte) bool {
+	if _, err := c.sock.Write(buf); err != nil {
+		c.resetConn()
+		return false
+	}
+	c.stats.wireBytesSent.Add(int64(len(buf)))
+	return true
+}
+
+// dialOnce attempts one dial, sends the codec preamble, and installs the
+// socket. It reports whether the connection is usable.
+func (c *tcpConn) dialOnce() bool {
+	d, err := net.DialTimeout("tcp", c.addr, tcpDialTimeout)
+	if err != nil {
+		return false
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		_ = d.Close()
+		return false
+	}
+	c.conn = d
+	c.mu.Unlock()
+	magic := magicBinary
+	if c.codec == CodecGob {
+		magic = magicGob
+	}
+	if _, err := d.Write([]byte(magic)); err != nil {
+		c.sock = d
+		c.resetConn()
+		return false
+	}
+	c.stats.wireBytesSent.Add(magicLen)
+	c.sock = d
+	if c.codec == CodecGob {
+		c.enc = gob.NewEncoder(&countingWriter{w: d, n: &c.stats.wireBytesSent})
+	}
+	return true
+}
+
+// resetConn tears down the current socket after an error or at exit.
+func (c *tcpConn) resetConn() {
+	if c.sock == nil {
+		return
+	}
+	_ = c.sock.Close()
+	c.sock, c.enc = nil, nil
+	c.mu.Lock()
+	c.conn = nil
+	c.mu.Unlock()
+}
+
+// countingWriter counts bytes written through it into an atomic, so the
+// gob path's byte counter matches the binary path's.
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n.Add(int64(n))
+	return n, err
 }
 
 // tcpEndpoint is a locally hosted node on a TCP segment. Its inbox is the
@@ -344,8 +573,7 @@ func (ep *tcpEndpoint) Send(to NodeID, msg Message) error {
 	if ep.box.isClosed() {
 		return ErrClosed
 	}
-	ep.net.send(ep.id, to, msg)
-	return nil
+	return ep.net.send(ep.id, to, msg)
 }
 
 // Close implements Endpoint.
@@ -364,7 +592,7 @@ func (ep *tcpEndpoint) enqueue(from NodeID, msg Message) {
 	ep.box.enqueue(from, msg)
 }
 
-// ErrNoRoute reports an unroutable destination (currently unused: sends
-// drop silently for symmetry with machine failures, but callers who need
-// strict routing can consult it).
+// ErrNoRoute reports an unroutable destination under
+// TCPConfig.StrictRoutes. Without StrictRoutes, sends to unknown nodes
+// drop silently for symmetry with machine failures.
 var ErrNoRoute = errors.New("transport: no route to node")

@@ -1,0 +1,35 @@
+package transport
+
+import (
+	"math"
+	"time"
+)
+
+// WheelSched is a thin exported handle over the timing wheel for the wire
+// benchmarks in internal/experiment, which pit the wheel against a frozen
+// copy of the seed's global-mutex heap scheduler. It exists only so the
+// benchmark can drive the scheduling structure in isolation — production
+// code goes through Mem, never this type.
+type WheelSched struct {
+	w *timingWheel
+}
+
+// NewWheelSched builds a wheel sized for the given latency, as NewMem does.
+func NewWheelSched(latency time.Duration) *WheelSched {
+	return &WheelSched{w: newTimingWheel(latency)}
+}
+
+// Add schedules one message, the send-path half of the structure. lane
+// stands in for the sender's registration-assigned lane and must be stable
+// per sender.
+func (s *WheelSched) Add(deadline time.Time, lane int, from, to NodeID, msg Message) {
+	s.w.add(deadline, lane, from, to, msg)
+}
+
+// Drain releases and discards every entry mature at now, returning the
+// count and whether immature entries remain. Not safe for concurrent Drain
+// calls; Add may race with it, as in Mem.
+func (s *WheelSched) Drain(now time.Time) (released int, pending bool) {
+	next := s.w.collect(now, func(entries []wheelEntry) { released += len(entries) })
+	return released, next != math.MaxInt64
+}
