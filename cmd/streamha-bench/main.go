@@ -10,8 +10,10 @@
 // Figures: 1, 2 (covers 3), 4, 5, 6, 7, 8, 9 (covers 10), 11, 12 (covers
 // 13), plus "sweeping" (Section III), "ablation" (Section IV-B),
 // "throughput" (data-plane publish/ack/trim microbenchmarks),
-// "delaystats" (observability-plane record/query microbenchmarks) and
-// "wire" (frame codec and latency-scheduler microbenchmarks).
+// "delaystats" (observability-plane record/query microbenchmarks),
+// "wire" (frame codec and latency-scheduler microbenchmarks) and
+// "checkpoint" (snapshot codec, pause-window and shipped-volume
+// microbenchmarks; -smoke runs its fast codec subset only).
 package main
 
 import (
@@ -26,17 +28,18 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1,2,4,5,6,7,8,9,11,12,sweeping,ablation,throughput,delaystats,wire or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1,2,4,5,6,7,8,9,11,12,sweeping,ablation,throughput,delaystats,wire,checkpoint or all")
 	quick := flag.Bool("quick", false, "reduced sweeps and repeats for a fast look")
+	smoke := flag.Bool("smoke", false, "health-check subset for CI (currently affects -fig checkpoint)")
 	flag.Parse()
 
-	if err := run(*fig, *quick); err != nil {
+	if err := run(*fig, *quick, *smoke); err != nil {
 		fmt.Fprintf(os.Stderr, "streamha-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, quick bool) error {
+func run(fig string, quick, smoke bool) error {
 	params := experiment.DefaultParams()
 	repeats := 3
 	if quick {
@@ -202,9 +205,15 @@ func run(fig string, quick bool) error {
 		show(r.Table(), time.Since(start))
 	}
 
+	if want("checkpoint") {
+		start := time.Now()
+		r := experiment.RunCheckpoint(smoke)
+		show(r.Table(), time.Since(start))
+	}
+
 	if !ran {
 		return fmt.Errorf("unknown figure %q (try: %s)", fig,
-			strings.Join([]string{"1", "2", "4", "5", "6", "7", "8", "9", "11", "12", "sweeping", "ablation", "throughput", "delaystats", "wire", "all"}, ", "))
+			strings.Join([]string{"1", "2", "4", "5", "6", "7", "8", "9", "11", "12", "sweeping", "ablation", "throughput", "delaystats", "wire", "checkpoint", "all"}, ", "))
 	}
 	return nil
 }

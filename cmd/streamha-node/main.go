@@ -42,6 +42,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -90,18 +92,19 @@ func main() {
 	configPath := flag.String("config", "", "deployment JSON file (required)")
 	process := flag.String("process", "", "process entry to play (required)")
 	snapshot := flag.Int("snapshot", 0, "print a JSON metrics snapshot every N seconds (0: only at exit)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics as JSON over HTTP at this address (GET /metrics.json)")
 	flag.Parse()
 	if *configPath == "" || *process == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*configPath, *process, *snapshot); err != nil {
+	if err := run(*configPath, *process, *snapshot, *metricsAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "streamha-node: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(configPath, process string, snapshotSec int) error {
+func run(configPath, process string, snapshotSec int, metricsAddr string) error {
 	raw, err := os.ReadFile(configPath)
 	if err != nil {
 		return err
@@ -261,6 +264,23 @@ func run(configPath, process string, snapshotSec int) error {
 		fmt.Printf("hosting source on %s at %.0f elements/s\n", dep.Job.SourceMachine, dep.Job.Rate)
 	}
 
+	// Live metrics endpoint: the same registry snapshot the periodic report
+	// prints, pollable over HTTP while the process runs.
+	if metricsAddr != "" {
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		srv := &http.Server{Handler: metricsMux(reg)}
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+			}
+		}()
+		stop = append(stop, func() { srv.Close() })
+		fmt.Printf("serving metrics at http://%s/metrics.json\n", ln.Addr())
+	}
+
 	// Run until the deadline or a signal.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -304,6 +324,25 @@ loop:
 	fmt.Println("metrics snapshot:")
 	printMetrics(reg)
 	return nil
+}
+
+// metricsMux serves a fresh registry snapshot on GET /metrics.json.
+func metricsMux(reg *metrics.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		out, err := reg.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(out)
+	})
+	return mux
 }
 
 func printMetrics(reg *metrics.Registry) {

@@ -2,10 +2,15 @@ package main
 
 import (
 	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"streamha/internal/metrics"
 )
 
 // TestThreeProcessDeployment runs the feed/workers/dash roles of the
@@ -48,7 +53,7 @@ func TestThreeProcessDeployment(t *testing.T) {
 		wg.Add(1)
 		go func(role string) {
 			defer wg.Done()
-			if err := run(cfg, role, 0); err != nil {
+			if err := run(cfg, role, 0, ""); err != nil {
 				errs <- err
 			}
 		}(role)
@@ -61,7 +66,7 @@ func TestThreeProcessDeployment(t *testing.T) {
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("/nonexistent/config.json", "x", 0); err == nil {
+	if err := run("/nonexistent/config.json", "x", 0, ""); err == nil {
 		t.Fatal("missing config accepted")
 	}
 
@@ -69,7 +74,7 @@ func TestRunRejectsBadInputs(t *testing.T) {
 	if err := os.WriteFile(cfg, []byte("{not json"), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(cfg, "x", 0); err == nil {
+	if err := run(cfg, "x", 0, ""); err == nil {
 		t.Fatal("malformed config accepted")
 	}
 
@@ -81,10 +86,49 @@ func TestRunRejectsBadInputs(t *testing.T) {
 	if err := os.WriteFile(cfg2, good, 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(cfg2, "missing", 0); err == nil {
+	if err := run(cfg2, "missing", 0, ""); err == nil {
 		t.Fatal("unknown process accepted")
 	}
-	if err := run(cfg2, "a", 0); err == nil {
+	if err := run(cfg2, "a", 0, ""); err == nil {
 		t.Fatal("hybrid mode must be rejected multi-process")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Register("probe", func() any { return map[string]int{"value": 42} })
+	srv := httptest.NewServer(metricsMux(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]map[string]int
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("snapshot not JSON: %v\n%s", err, body)
+	}
+	if snap["probe"]["value"] != 42 {
+		t.Fatalf("probe = %v", snap["probe"])
+	}
+
+	post, err := http.Post(srv.URL+"/metrics.json", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status %d", post.StatusCode)
 	}
 }

@@ -4,12 +4,22 @@
 // against, and the state stores that hold checkpoints on secondary
 // machines.
 //
-// A checkpoint manager drives one subjob copy's pause → snapshot → resume
-// cycle, ships the snapshot to a store, and — once the store confirms —
-// sends cumulative acknowledgments upstream, which trim upstream output
-// queues. Under sweeping checkpointing a trim in turn triggers an
-// immediate checkpoint of the trimmed subjob, so one sweep initiated at
-// the most-downstream subjob propagates checkpoints all the way upstream.
+// A checkpoint manager drives one subjob copy's pause → capture → resume
+// cycle and hands the captured state to a background shipper that charges
+// the modeled encode cost, serializes with the binary snapshot codec, and
+// ships to a store; once the store confirms, cumulative acknowledgments go
+// upstream, which trim upstream output queues. Under sweeping
+// checkpointing a trim in turn triggers an immediate checkpoint of the
+// trimmed subjob, so one sweep initiated at the most-downstream subjob
+// propagates checkpoints all the way upstream.
+//
+// With Config.RebaseEvery ≥ 2 the managers checkpoint incrementally: most
+// sweeps capture only the state that changed since the previous checkpoint
+// (per-PE byte-range patches plus the output queue's newly published
+// suffix) and every RebaseEvery-th checkpoint is a full snapshot that
+// re-bases the store's folded image. Deltas chain by sequence number; a
+// store that cannot fold a delta drops it without acknowledging, and the
+// manager rebases as soon as its pending-ack window grows.
 package checkpoint
 
 import (
@@ -29,16 +39,31 @@ type Costs struct {
 	Base time.Duration
 	// PerUnit is charged per element-equivalent in the snapshot.
 	PerUnit time.Duration
+	// Disabled makes checkpoints genuinely free. A zero-valued Costs is
+	// replaced by DefaultCosts, so benchmarks that want to measure the real
+	// encode path without the simulated CPU charge set Disabled instead.
+	Disabled bool
 }
 
 // DefaultCosts are used when a Costs field is zero.
 var DefaultCosts = Costs{Base: 200 * time.Microsecond, PerUnit: 2 * time.Microsecond}
 
 func (c Costs) orDefault() Costs {
+	if c.Disabled {
+		return Costs{Disabled: true}
+	}
 	if c.Base == 0 && c.PerUnit == 0 {
 		return DefaultCosts
 	}
 	return c
+}
+
+// work returns the modeled CPU cost of a checkpoint of the given size.
+func (c Costs) work(units int) time.Duration {
+	if c.Disabled {
+		return 0
+	}
+	return c.Base + c.PerUnit*time.Duration(units)
 }
 
 // Config configures a checkpoint manager.
@@ -55,18 +80,27 @@ type Config struct {
 	StoreNode transport.NodeID
 	// Costs models checkpoint CPU cost.
 	Costs Costs
+	// RebaseEvery enables incremental checkpointing: when ≥ 2, up to
+	// RebaseEvery-1 delta checkpoints are taken between full snapshots.
+	// 0 or 1 captures a full snapshot every time (the classic protocol).
+	RebaseEvery int
+	// MaxInFlight bounds captured-but-unshipped checkpoints; the capture
+	// path blocks once the bound is reached. Default 2.
+	MaxInFlight int
 }
 
 // Manager is the common interface of the checkpointing variants.
 type Manager interface {
 	// Start launches the manager.
 	Start()
-	// Stop halts it and waits for its goroutine.
+	// Stop halts it and waits for its goroutines.
 	Stop()
 	// CheckpointNow takes one checkpoint synchronously (outside the timer),
 	// returning the time the pause lasted. Used by recovery paths and
-	// benchmarks.
+	// benchmarks. The encode and ship happen on the background shipper.
 	CheckpointNow() time.Duration
+	// Stats captures the manager's activity for the metrics registry.
+	Stats() ManagerStats
 }
 
 // Sweeping is the sweeping checkpoint manager: a checkpoint is taken
@@ -77,15 +111,23 @@ type Sweeping struct {
 	trig chan struct{}
 	stop chan struct{}
 	done chan struct{}
+	ship *shipper
 
-	mu         sync.Mutex
-	seq        uint64
-	pending    map[uint64]map[string]uint64 // checkpoint seq -> consumed positions
-	taken      int
-	pauseTotal time.Duration
-	lastUnits  int
-	unitsTotal int64
-	started    bool
+	// capMu serializes capture → sequence assignment → shipper handoff, so
+	// checkpoints enter the shipper in sequence order (the delta chain the
+	// store folds depends on it).
+	capMu sync.Mutex
+
+	mu          sync.Mutex
+	seq         uint64
+	pending     map[uint64]map[string]uint64 // checkpoint seq -> consumed positions
+	taken       int
+	pauseTotal  time.Duration
+	lastUnits   int
+	unitsTotal  int64
+	sinceFull   int
+	lastOutNext uint64
+	started     bool
 }
 
 var _ Manager = (*Sweeping)(nil)
@@ -98,6 +140,7 @@ func NewSweeping(cfg Config) *Sweeping {
 		trig:    make(chan struct{}, 1),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
+		ship:    newShipper(cfg),
 		pending: make(map[uint64]map[string]uint64),
 	}
 }
@@ -127,17 +170,19 @@ func (s *Sweeping) Start() {
 // Stop implements Manager.
 func (s *Sweeping) Stop() {
 	s.mu.Lock()
-	if !s.started {
-		s.mu.Unlock()
+	started := s.started
+	s.mu.Unlock()
+	if !started {
+		s.ship.stopWait()
 		return
 	}
-	s.mu.Unlock()
 	select {
 	case <-s.stop:
 	default:
 		close(s.stop)
 	}
 	<-s.done
+	s.ship.stopWait()
 	s.cfg.Runtime.Out().SetOnTrim(nil)
 	s.cfg.Runtime.Machine().UnregisterStream(subjob.CkptAckStream(s.cfg.Runtime.Spec().ID))
 }
@@ -158,45 +203,81 @@ func (s *Sweeping) run() {
 	}
 }
 
-// CheckpointNow implements Manager: pause, snapshot (without the input
-// queue), resume, charge encode cost and ship to the store. The upstream
+// wantDeltaLocked decides whether the next checkpoint may be incremental:
+// rebasing is on, a full baseline exists, the rebase cadence has not come
+// due, and the store is keeping up (a growing pending window means deltas
+// are being dropped — likely an unfoldable chain — so rebase with a full).
+func wantDeltaLocked(cfg *Config, sinceFull int, lastOutNext uint64, pending int) bool {
+	return cfg.RebaseEvery >= 2 &&
+		lastOutNext > 0 &&
+		sinceFull < cfg.RebaseEvery-1 &&
+		pending <= cfg.RebaseEvery*2
+}
+
+// CheckpointNow implements Manager: pause, capture (without the input
+// queue), resume, then hand off to the background shipper. The upstream
 // acknowledgment is deferred until the store confirms.
 func (s *Sweeping) CheckpointNow() time.Duration {
 	rt := s.cfg.Runtime
 	if rt.Machine().Crashed() {
 		return 0
 	}
+	s.capMu.Lock()
+	defer s.capMu.Unlock()
+
+	s.mu.Lock()
+	tryDelta := wantDeltaLocked(&s.cfg, s.sinceFull, s.lastOutNext, len(s.pending))
+	outSince := s.lastOutNext
+	s.mu.Unlock()
+
 	start := s.cfg.Clock.Now()
 	var snap *subjob.Snapshot
+	var delta *subjob.Delta
 	rt.WithPaused(func() {
-		snap = rt.Snapshot()
+		if tryDelta {
+			delta, _ = rt.CaptureDelta(subjob.DeltaOptions{
+				OutputSince:   outSince,
+				IncludeOutput: true,
+				OnlyPE:        -1,
+			})
+		}
+		if delta == nil {
+			snap = rt.CaptureFull()
+		}
 	})
 	paused := s.cfg.Clock.Since(start)
 
-	units := snap.ElementUnits()
-	rt.Machine().CPU().Execute(s.cfg.Costs.Base + s.cfg.Costs.PerUnit*time.Duration(units))
-	state, err := snap.Encode()
-	if err != nil {
-		return paused
+	var units int
+	var consumed map[string]uint64
+	var outNext uint64
+	if delta != nil {
+		units = delta.ElementUnits()
+		consumed = delta.Consumed
+		outNext = delta.Output.NextSeq
+	} else {
+		units = snap.ElementUnits()
+		consumed = snap.Consumed
+		outNext = snap.Output.NextSeq
 	}
 
 	s.mu.Lock()
 	s.seq++
 	seq := s.seq
-	s.pending[seq] = snap.Consumed
+	if delta != nil {
+		delta.PrevSeq = seq - 1
+		s.sinceFull++
+	} else {
+		s.sinceFull = 0
+	}
+	s.lastOutNext = outNext
+	s.pending[seq] = consumed
 	s.taken++
 	s.pauseTotal += paused
 	s.lastUnits = units
 	s.unitsTotal += int64(units)
 	s.mu.Unlock()
 
-	rt.Machine().Send(s.cfg.StoreNode, transport.Message{
-		Kind:         transport.KindCheckpoint,
-		Stream:       subjob.CkptStream(rt.Spec().ID),
-		Seq:          seq,
-		State:        state,
-		ElementCount: units,
-	})
+	s.ship.enqueue(shipJob{seq: seq, snap: snap, delta: delta, units: units})
 	return paused
 }
 
@@ -239,21 +320,30 @@ func (s *Sweeping) MeanPause() time.Duration {
 }
 
 // ManagerStats is a JSON-marshalable view of a checkpoint manager's
-// activity, exported through the metrics registry.
+// activity, exported through the metrics registry. Pause, encode and ship
+// are reported separately — the pause is what tuple latency pays, while
+// encode and ship overlap with processing on the background shipper.
 type ManagerStats struct {
-	Subjob      string  `json:"subjob"`
-	Taken       int     `json:"taken"`
-	Pending     int     `json:"pending_acks"`
-	MeanPauseMS float64 `json:"mean_pause_ms"`
-	LastUnits   int     `json:"last_size_units"`
-	TotalUnits  int64   `json:"total_size_units"`
+	Subjob       string  `json:"subjob"`
+	Taken        int     `json:"taken"`
+	Pending      int     `json:"pending_acks"`
+	Fulls        int     `json:"fulls_shipped"`
+	Deltas       int     `json:"deltas_shipped"`
+	MeanPauseMS  float64 `json:"mean_pause_ms"`
+	MeanEncodeMS float64 `json:"mean_encode_ms"`
+	MeanShipMS   float64 `json:"mean_ship_ms"`
+	LastUnits    int     `json:"last_size_units"`
+	TotalUnits   int64   `json:"total_size_units"`
+	BytesFull    int64   `json:"bytes_full"`
+	BytesDelta   int64   `json:"bytes_delta"`
+	// DeltaRatio is mean delta bytes over mean full bytes; small is good.
+	DeltaRatio float64 `json:"delta_ratio"`
 }
 
-// Stats captures checkpoint counts, pending store acks and snapshot sizes
-// in element units.
+// Stats implements Manager: checkpoint counts, pending store acks,
+// pause/encode/ship timings and full-vs-delta shipped volume.
 func (s *Sweeping) Stats() ManagerStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := ManagerStats{
 		Subjob:     s.cfg.Runtime.Spec().ID,
 		Taken:      s.taken,
@@ -264,5 +354,7 @@ func (s *Sweeping) Stats() ManagerStats {
 	if s.taken > 0 {
 		st.MeanPauseMS = float64(s.pauseTotal) / float64(s.taken) / 1e6
 	}
+	s.mu.Unlock()
+	s.ship.statsInto(&st)
 	return st
 }

@@ -1,0 +1,165 @@
+package checkpoint
+
+import (
+	"sync"
+	"time"
+
+	"streamha/internal/subjob"
+	"streamha/internal/transport"
+)
+
+// defaultMaxInFlight bounds how many captured-but-unshipped checkpoints a
+// manager may hold: the capture path blocks (backpressure) once this many
+// are queued, so a slow store or encode stage throttles the checkpoint
+// cadence instead of accumulating unbounded snapshots.
+const defaultMaxInFlight = 2
+
+// shipJob is one captured checkpoint waiting for its out-of-pause encode
+// and ship. Exactly one of snap and delta is set.
+type shipJob struct {
+	seq   uint64
+	snap  *subjob.Snapshot
+	delta *subjob.Delta
+	units int
+}
+
+// shipper is the background encode+ship stage shared by the checkpoint
+// variants: the pause window only captures state, and the shipper charges
+// the modeled checkpoint CPU cost, encodes with the binary snapshot codec
+// into a recycled buffer, and sends the result to the store — all while
+// the PEs are back processing. Jobs are shipped strictly in capture order,
+// which the store's delta-chain folding relies on.
+type shipper struct {
+	cfg  Config
+	once sync.Once
+	jobs chan shipJob
+	stop chan struct{}
+	done chan struct{}
+
+	// buf is the recycled encode buffer, touched only by the run goroutine.
+	buf []byte
+
+	mu          sync.Mutex
+	shipped     int
+	fulls       int
+	deltas      int
+	bytesFull   int64
+	bytesDelta  int64
+	encodeTotal time.Duration
+	shipTotal   time.Duration
+}
+
+func newShipper(cfg Config) *shipper {
+	depth := cfg.MaxInFlight
+	if depth <= 0 {
+		depth = defaultMaxInFlight
+	}
+	return &shipper{
+		cfg:  cfg,
+		jobs: make(chan shipJob, depth),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// enqueue hands a captured checkpoint to the background stage, blocking
+// while the in-flight bound is reached. It reports false once the shipper
+// is stopped. The goroutine starts lazily so CheckpointNow works on
+// managers that were never Start()ed (recovery paths, benchmarks).
+func (sh *shipper) enqueue(j shipJob) bool {
+	sh.once.Do(func() { go sh.run() })
+	select {
+	case sh.jobs <- j:
+		return true
+	case <-sh.stop:
+		return false
+	}
+}
+
+// stopWait stops the background stage and waits for it to exit; queued
+// but unshipped checkpoints are dropped (their positions stay pending and
+// are subsumed by the next manager's checkpoints). Idempotent.
+func (sh *shipper) stopWait() {
+	select {
+	case <-sh.stop:
+		return
+	default:
+	}
+	sh.once.Do(func() { go sh.run() })
+	close(sh.stop)
+	<-sh.done
+}
+
+func (sh *shipper) run() {
+	defer close(sh.done)
+	for {
+		select {
+		case <-sh.stop:
+			return
+		case j := <-sh.jobs:
+			sh.process(j)
+		}
+	}
+}
+
+func (sh *shipper) process(j shipJob) {
+	rt := sh.cfg.Runtime
+	if w := sh.cfg.Costs.work(j.units); w > 0 {
+		rt.Machine().CPU().Execute(w)
+	}
+
+	clk := sh.cfg.Clock
+	t0 := clk.Now()
+	if j.snap != nil {
+		sh.buf = j.snap.AppendTo(sh.buf[:0])
+	} else {
+		sh.buf = j.delta.AppendTo(sh.buf[:0])
+	}
+	// The message owns its payload (the Mem transport shares slices by
+	// reference), so the recycled buffer's contents are copied out.
+	state := make([]byte, len(sh.buf))
+	copy(state, sh.buf)
+	encodeDur := clk.Since(t0)
+
+	t1 := clk.Now()
+	rt.Machine().Send(sh.cfg.StoreNode, transport.Message{
+		Kind:         transport.KindCheckpoint,
+		Stream:       subjob.CkptStream(rt.Spec().ID),
+		Seq:          j.seq,
+		State:        state,
+		ElementCount: j.units,
+	})
+	shipDur := clk.Since(t1)
+
+	sh.mu.Lock()
+	sh.shipped++
+	if j.snap != nil {
+		sh.fulls++
+		sh.bytesFull += int64(len(state))
+	} else {
+		sh.deltas++
+		sh.bytesDelta += int64(len(state))
+	}
+	sh.encodeTotal += encodeDur
+	sh.shipTotal += shipDur
+	sh.mu.Unlock()
+}
+
+// statsInto merges the shipper's encode/ship timings and full-vs-delta
+// volume counters into a manager's stats view.
+func (sh *shipper) statsInto(st *ManagerStats) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st.Fulls = sh.fulls
+	st.Deltas = sh.deltas
+	st.BytesFull = sh.bytesFull
+	st.BytesDelta = sh.bytesDelta
+	if sh.shipped > 0 {
+		st.MeanEncodeMS = float64(sh.encodeTotal) / float64(sh.shipped) / 1e6
+		st.MeanShipMS = float64(sh.shipTotal) / float64(sh.shipped) / 1e6
+	}
+	if sh.fulls > 0 && sh.deltas > 0 {
+		st.DeltaRatio = (float64(sh.bytesDelta) / float64(sh.deltas)) /
+			(float64(sh.bytesFull) / float64(sh.fulls))
+	}
+}

@@ -1,6 +1,7 @@
 package checkpoint
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -28,24 +29,35 @@ const DefaultDiskLatency = 800 * time.Microsecond
 // Store holds the latest checkpoint of one subjob on a secondary machine
 // and confirms each stored checkpoint back to the checkpoint manager.
 // Passive standby reads the stored snapshot when deploying a recovery
-// copy. When checkpoints arrive faster than they can be decoded, the
-// backlog is coalesced: each cumulative checkpoint subsumes the older
-// ones, so only the newest pending snapshot is decoded while every
-// received checkpoint is still acknowledged.
+// copy.
+//
+// Checkpoints may be full snapshots or deltas chained by sequence number.
+// The store folds each delta into its current image, advancing the chain
+// one sequence at a time; a delta that does not extend the chain is
+// dropped WITHOUT acknowledgment — acknowledging it would let upstream
+// trim data the store cannot actually recover — and the manager rebases
+// with a full snapshot once its pending window grows. When checkpoints
+// arrive faster than they can be decoded, the backlog is coalesced: the
+// newest full snapshot re-bases the image, older fulls and subsumed
+// deltas are skipped, and every checkpoint the final image covers is
+// acknowledged.
 type Store struct {
 	m           *machine.Machine
 	sjID        string
 	backend     StoreBackend
 	diskLatency time.Duration
 
-	mu        sync.Mutex
-	latest    *subjob.Snapshot
-	seq       uint64
-	stored    int
-	lastUnits int
-	work      chan storeReq
-	stop      chan struct{}
-	done      chan struct{}
+	mu         sync.Mutex
+	latest     *subjob.Snapshot
+	seq        uint64
+	stored     int
+	fulls      int
+	deltaFolds int
+	deltaDrops int
+	lastUnits  int
+	work       chan storeReq
+	stop       chan struct{}
+	done       chan struct{}
 }
 
 type storeReq struct {
@@ -87,10 +99,6 @@ func (s *Store) run() {
 			return
 		case req := <-s.work:
 			batch = append(batch[:0], req)
-			// Coalesce a backlog: only the newest checkpoint in the batch is
-			// worth decoding — each cumulative checkpoint subsumes the older
-			// ones — but every received checkpoint is still acknowledged so
-			// the manager can release upstream trims.
 		drain:
 			for {
 				select {
@@ -109,28 +117,89 @@ func (s *Store) run() {
 }
 
 func (s *Store) store(batch []storeReq) {
-	newest := 0
+	// Fold in sequence order; the shipper sends in capture order but a
+	// coalesced backlog is easier to reason about sorted.
+	sort.Slice(batch, func(i, j int) bool { return batch[i].msg.Seq < batch[j].msg.Seq })
+
+	s.mu.Lock()
+	chain := s.seq
+	s.mu.Unlock()
+
+	// The newest full snapshot that advances the chain re-bases the image;
+	// older fulls and the deltas it subsumes are never decoded.
+	fullIdx := -1
 	for i := range batch {
-		if batch[i].msg.Seq > batch[newest].msg.Seq {
-			newest = i
+		if batch[i].msg.Seq > chain && !subjob.IsDelta(batch[i].msg.State) {
+			fullIdx = i
 		}
 	}
-	snap, err := subjob.DecodeSnapshot(batch[newest].msg.State)
-	if err != nil {
-		return
+	var newFull *subjob.Snapshot
+	baseSeq := chain
+	if fullIdx >= 0 {
+		if snap, err := subjob.DecodeSnapshot(batch[fullIdx].msg.State); err == nil {
+			newFull = snap
+			baseSeq = batch[fullIdx].msg.Seq
+		}
 	}
+	type seqDelta struct {
+		seq uint64
+		d   *subjob.Delta
+	}
+	var deltas []seqDelta
+	for i := range batch {
+		m := &batch[i].msg
+		if m.Seq <= baseSeq || !subjob.IsDelta(m.State) {
+			continue
+		}
+		if d, err := subjob.DecodeDelta(m.State); err == nil {
+			deltas = append(deltas, seqDelta{seq: m.Seq, d: d})
+		}
+	}
+
 	if s.backend == SimulatedDisk {
 		s.m.CPU().Execute(s.diskLatency)
 	}
+
 	s.mu.Lock()
-	if batch[newest].msg.Seq > s.seq {
-		s.seq = batch[newest].msg.Seq
-		s.latest = snap
-		s.lastUnits = snap.ElementUnits()
+	if newFull != nil {
+		s.latest = newFull
+		chain = baseSeq
+		s.fulls++
 	}
-	s.stored++
-	s.mu.Unlock()
+	for _, sd := range deltas {
+		if s.latest == nil || sd.d.PrevSeq != chain {
+			s.deltaDrops++
+			continue
+		}
+		if err := s.latest.ApplyDelta(sd.d); err != nil {
+			// The image may be partially folded; the chain stays put so the
+			// manager's next full snapshot re-bases it.
+			s.deltaDrops++
+			continue
+		}
+		chain = sd.seq
+		s.deltaFolds++
+	}
+	advanced := chain > s.seq
+	s.seq = chain
+	if advanced && s.latest != nil {
+		s.lastUnits = s.latest.ElementUnits()
+	}
+	accepted := 0
 	for i := range batch {
+		if batch[i].msg.Seq <= chain {
+			accepted++
+		}
+	}
+	s.stored += accepted
+	s.mu.Unlock()
+
+	for i := range batch {
+		if batch[i].msg.Seq > chain {
+			// Unfoldable (or undecodable) checkpoint: no acknowledgment, so
+			// upstream keeps the data it would have trimmed.
+			continue
+		}
 		s.m.Send(batch[i].from, transport.Message{
 			Kind:    transport.KindControl,
 			Stream:  subjob.CkptAckStream(s.sjID),
@@ -140,7 +209,9 @@ func (s *Store) store(batch []storeReq) {
 	}
 }
 
-// Latest returns the most recent stored snapshot, or false if none.
+// Latest returns a copy of the most recent stored snapshot, or false if
+// none. The copy is the caller's: delta folds mutate the stored image in
+// place, so handing out the internal pointer would race with them.
 // SimulatedDisk stores pay a read latency.
 func (s *Store) Latest() (*subjob.Snapshot, bool) {
 	if s.backend == SimulatedDisk {
@@ -151,10 +222,10 @@ func (s *Store) Latest() (*subjob.Snapshot, bool) {
 	if s.latest == nil {
 		return nil, false
 	}
-	return s.latest, true
+	return s.latest.Clone(), true
 }
 
-// Stored returns the number of checkpoints stored.
+// Stored returns the number of checkpoints accepted (acknowledged).
 func (s *Store) Stored() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -168,6 +239,12 @@ type StoreStats struct {
 	Stored    int    `json:"stored"`
 	LatestSeq uint64 `json:"latest_seq"`
 	LastUnits int    `json:"last_size_units"`
+	// Fulls counts full-snapshot re-bases; DeltaFolds counts deltas folded
+	// into the image; DeltaDrops counts deltas dropped unacknowledged
+	// because they did not extend the chain.
+	Fulls      int `json:"fulls_stored"`
+	DeltaFolds int `json:"delta_folds"`
+	DeltaDrops int `json:"delta_drops"`
 }
 
 // Stats captures how many checkpoints the store has taken in and the size
@@ -176,10 +253,13 @@ func (s *Store) Stats() StoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return StoreStats{
-		Subjob:    s.sjID,
-		Stored:    s.stored,
-		LatestSeq: s.seq,
-		LastUnits: s.lastUnits,
+		Subjob:     s.sjID,
+		Stored:     s.stored,
+		LatestSeq:  s.seq,
+		LastUnits:  s.lastUnits,
+		Fulls:      s.fulls,
+		DeltaFolds: s.deltaFolds,
+		DeltaDrops: s.deltaDrops,
 	}
 }
 

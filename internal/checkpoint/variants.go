@@ -10,23 +10,30 @@ import (
 
 // Synchronous is the timer-driven checkpointing variant the paper compares
 // sweeping checkpointing against: on every interval all PEs of the subjob
-// are suspended, the full state — including the input queue — is captured
-// and encoded while they stay suspended, and only then are they resumed.
-// Including the input queue makes messages much larger for PEs that
-// consume more raw data than they derive, and holding the pause across
-// encoding makes each checkpoint slower; both effects are the ones the
-// paper's Section III quantifies.
+// are suspended and the full state — including the input queue — is
+// captured before they resume. Including the input queue makes messages
+// much larger for PEs that consume more raw data than they derive, which
+// is the overhead the paper's Section III quantifies. Like the other
+// variants, the encode and ship stages run on the background shipper, so
+// the pause covers only the state capture.
 type Synchronous struct {
 	cfg  Config
 	stop chan struct{}
 	done chan struct{}
+	ship *shipper
 
-	mu         sync.Mutex
-	seq        uint64
-	pending    map[uint64]map[string]uint64
-	taken      int
-	pauseTotal time.Duration
-	started    bool
+	capMu sync.Mutex
+
+	mu          sync.Mutex
+	seq         uint64
+	pending     map[uint64]map[string]uint64
+	taken       int
+	pauseTotal  time.Duration
+	lastUnits   int
+	unitsTotal  int64
+	sinceFull   int
+	lastOutNext uint64
+	started     bool
 }
 
 var _ Manager = (*Synchronous)(nil)
@@ -38,6 +45,7 @@ func NewSynchronous(cfg Config) *Synchronous {
 		cfg:     cfg,
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
+		ship:    newShipper(cfg),
 		pending: make(map[uint64]map[string]uint64),
 	}
 }
@@ -59,17 +67,19 @@ func (s *Synchronous) Start() {
 // Stop implements Manager.
 func (s *Synchronous) Stop() {
 	s.mu.Lock()
-	if !s.started {
-		s.mu.Unlock()
+	started := s.started
+	s.mu.Unlock()
+	if !started {
+		s.ship.stopWait()
 		return
 	}
-	s.mu.Unlock()
 	select {
 	case <-s.stop:
 	default:
 		close(s.stop)
 	}
 	<-s.done
+	s.ship.stopWait()
 	s.cfg.Runtime.Machine().UnregisterStream(subjob.CkptAckStream(s.cfg.Runtime.Spec().ID))
 }
 
@@ -87,47 +97,74 @@ func (s *Synchronous) run() {
 	}
 }
 
-// CheckpointNow implements Manager. The pause spans snapshot, encode-cost
-// and send; the acknowledged positions are the input queue's accepted
-// positions, since the input queue itself is part of the checkpoint.
+// CheckpointNow implements Manager. The pause covers the state capture
+// including the input queue; the acknowledged positions are the input
+// queue's accepted positions, since the input queue itself is part of the
+// checkpoint.
 func (s *Synchronous) CheckpointNow() time.Duration {
 	rt := s.cfg.Runtime
 	if rt.Machine().Crashed() {
 		return 0
 	}
+	s.capMu.Lock()
+	defer s.capMu.Unlock()
+
+	s.mu.Lock()
+	tryDelta := wantDeltaLocked(&s.cfg, s.sinceFull, s.lastOutNext, len(s.pending))
+	outSince := s.lastOutNext
+	s.mu.Unlock()
+
 	start := s.cfg.Clock.Now()
+	var snap *subjob.Snapshot
+	var delta *subjob.Delta
+	var accepted map[string]uint64
 	rt.WithPaused(func() {
-		snap := rt.Snapshot()
-		snap.Input = rt.In().SnapshotBuf()
-		accepted := rt.In().AcceptedAll()
-		snap.Consumed = accepted
-
-		units := snap.ElementUnits()
-		rt.Machine().CPU().Execute(s.cfg.Costs.Base + s.cfg.Costs.PerUnit*time.Duration(units))
-		state, err := snap.Encode()
-		if err != nil {
-			return
+		if tryDelta {
+			delta, _ = rt.CaptureDelta(subjob.DeltaOptions{
+				OutputSince:   outSince,
+				IncludeOutput: true,
+				IncludeInput:  true,
+				OnlyPE:        -1,
+			})
 		}
-
-		s.mu.Lock()
-		s.seq++
-		seq := s.seq
-		s.pending[seq] = accepted
-		s.taken++
-		s.mu.Unlock()
-
-		rt.Machine().Send(s.cfg.StoreNode, transport.Message{
-			Kind:         transport.KindCheckpoint,
-			Stream:       subjob.CkptStream(rt.Spec().ID),
-			Seq:          seq,
-			State:        state,
-			ElementCount: units,
-		})
+		if delta == nil {
+			snap = rt.CaptureFull()
+			snap.Input = rt.In().SnapshotBuf()
+		}
+		accepted = rt.In().AcceptedAll()
 	})
 	paused := s.cfg.Clock.Since(start)
+
+	var units int
+	var outNext uint64
+	if delta != nil {
+		delta.Consumed = accepted
+		units = delta.ElementUnits()
+		outNext = delta.Output.NextSeq
+	} else {
+		snap.Consumed = accepted
+		units = snap.ElementUnits()
+		outNext = snap.Output.NextSeq
+	}
+
 	s.mu.Lock()
+	s.seq++
+	seq := s.seq
+	if delta != nil {
+		delta.PrevSeq = seq - 1
+		s.sinceFull++
+	} else {
+		s.sinceFull = 0
+	}
+	s.lastOutNext = outNext
+	s.pending[seq] = accepted
+	s.taken++
 	s.pauseTotal += paused
+	s.lastUnits = units
+	s.unitsTotal += int64(units)
 	s.mu.Unlock()
+
+	s.ship.enqueue(shipJob{seq: seq, snap: snap, delta: delta, units: units})
 	return paused
 }
 
@@ -165,23 +202,51 @@ func (s *Synchronous) MeanPause() time.Duration {
 	return s.pauseTotal / time.Duration(s.taken)
 }
 
+// Stats implements Manager.
+func (s *Synchronous) Stats() ManagerStats {
+	s.mu.Lock()
+	st := ManagerStats{
+		Subjob:     s.cfg.Runtime.Spec().ID,
+		Taken:      s.taken,
+		Pending:    len(s.pending),
+		LastUnits:  s.lastUnits,
+		TotalUnits: s.unitsTotal,
+	}
+	if s.taken > 0 {
+		st.MeanPauseMS = float64(s.pauseTotal) / float64(s.taken) / 1e6
+	}
+	s.mu.Unlock()
+	s.ship.statsInto(&st)
+	return st
+}
+
 // Individual is the per-PE-timer checkpointing variant: every PE has its
 // own timer and is checkpointed independently. Each cycle still captures a
-// full consistent snapshot of the owning subjob copy (pausing only
-// briefly), but one message is sent per PE per interval and each message
-// carries the PE's share of queue state plus the input queue for the first
-// PE — more, smaller, overlapping messages than one swept checkpoint.
+// consistent view of the owning subjob copy (pausing only briefly), but
+// one message is sent per PE per interval and each message carries the
+// PE's share of queue state plus the input queue for the first PE — more,
+// smaller, overlapping messages than one swept checkpoint. With
+// RebaseEvery ≥ 2, per-PE messages become per-PE deltas between
+// whole-subjob full rebases; each PE's change tracking is reset only on
+// its own turn, so the rotation's per-PE chains fold correctly.
 type Individual struct {
 	cfg  Config
 	stop chan struct{}
 	done chan struct{}
+	ship *shipper
 
-	mu         sync.Mutex
-	seq        uint64
-	pending    map[uint64]map[string]uint64
-	taken      int
-	pauseTotal time.Duration
-	started    bool
+	capMu sync.Mutex
+
+	mu          sync.Mutex
+	seq         uint64
+	pending     map[uint64]map[string]uint64
+	taken       int
+	pauseTotal  time.Duration
+	lastUnits   int
+	unitsTotal  int64
+	sinceFull   int
+	lastOutNext uint64
+	started     bool
 }
 
 var _ Manager = (*Individual)(nil)
@@ -193,6 +258,7 @@ func NewIndividual(cfg Config) *Individual {
 		cfg:     cfg,
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
+		ship:    newShipper(cfg),
 		pending: make(map[uint64]map[string]uint64),
 	}
 }
@@ -215,17 +281,19 @@ func (ind *Individual) Start() {
 // Stop implements Manager.
 func (ind *Individual) Stop() {
 	ind.mu.Lock()
-	if !ind.started {
-		ind.mu.Unlock()
+	started := ind.started
+	ind.mu.Unlock()
+	if !started {
+		ind.ship.stopWait()
 		return
 	}
-	ind.mu.Unlock()
 	select {
 	case <-ind.stop:
 	default:
 		close(ind.stop)
 	}
 	<-ind.done
+	ind.ship.stopWait()
 	ind.cfg.Runtime.Machine().UnregisterStream(subjob.CkptAckStream(ind.cfg.Runtime.Spec().ID))
 }
 
@@ -262,70 +330,112 @@ func (ind *Individual) CheckpointNow() time.Duration {
 
 // checkpointPE captures the state owned by PE i: its logic state, its
 // outgoing queue (pipe or subjob output), and for the first PE also the
-// input queue.
+// input queue. Incremental mode replaces this with a per-PE delta, except
+// on the rebase cadence where a whole-subjob full snapshot is shipped.
 func (ind *Individual) checkpointPE(i int) time.Duration {
 	rt := ind.cfg.Runtime
 	if rt.Machine().Crashed() {
 		return 0
 	}
+	ind.capMu.Lock()
+	defer ind.capMu.Unlock()
+	last := i == len(rt.PEs())-1
+
+	ind.mu.Lock()
+	tryDelta := wantDeltaLocked(&ind.cfg, ind.sinceFull, ind.lastOutNext, len(ind.pending))
+	outSince := ind.lastOutNext
+	ind.mu.Unlock()
+	incremental := ind.cfg.RebaseEvery >= 2
+
 	start := ind.cfg.Clock.Now()
 	var snap *subjob.Snapshot
+	var delta *subjob.Delta
 	var accepted map[string]uint64
 	rt.WithPaused(func() {
-		snap = rt.Snapshot()
-		if i == 0 {
-			snap.Input = rt.In().SnapshotBuf()
+		if tryDelta {
+			delta, _ = rt.CaptureDelta(subjob.DeltaOptions{
+				OutputSince:   outSince,
+				IncludeOutput: last,
+				IncludeInput:  i == 0,
+				OnlyPE:        i,
+			})
+		}
+		if delta == nil {
+			snap = rt.CaptureFull()
+			if incremental || i == 0 {
+				snap.Input = rt.In().SnapshotBuf()
+			}
+		}
+		if i == 0 || (incremental && delta == nil) {
 			accepted = rt.In().AcceptedAll()
-			snap.Consumed = accepted
 		}
 	})
 	paused := ind.cfg.Clock.Since(start)
-	ind.mu.Lock()
-	ind.pauseTotal += paused
-	ind.mu.Unlock()
-	// Keep only PE i's share: zero out the other PEs' states and queues.
-	for j := range snap.PEStates {
-		if j != i {
-			snap.PEStates[j] = nil
+
+	var units int
+	var outNext uint64
+	if delta != nil {
+		if accepted != nil {
+			delta.Consumed = accepted
 		}
-	}
-	keptUnits := 0
-	if i < len(rt.PEs()) {
-		keptUnits = rt.PEs()[i].Logic().StateSize()
-	}
-	snap.StateUnits = keptUnits
-	for j := range snap.Pipes {
-		if j != i {
-			snap.Pipes[j] = nil
+		units = delta.ElementUnits()
+		if delta.HasOutput {
+			outNext = delta.Output.NextSeq
+		} else {
+			outNext = outSince
 		}
-	}
-	if i != len(snap.PEStates)-1 {
-		snap.Output.Buf = nil
-	}
-	units := snap.ElementUnits()
-	rt.Machine().CPU().Execute(ind.cfg.Costs.Base + ind.cfg.Costs.PerUnit*time.Duration(units))
-	state, err := snap.Encode()
-	if err != nil {
-		return ind.cfg.Clock.Since(start)
+	} else {
+		if accepted != nil {
+			snap.Consumed = accepted
+		}
+		if !incremental {
+			// The classic variant ships only PE i's share: zero out the other
+			// PEs' states and queues. Incremental rebases must instead keep
+			// the whole subjob, since deltas fold onto the stored image.
+			for j := range snap.PEStates {
+				if j != i {
+					snap.PEStates[j] = nil
+				}
+			}
+			keptUnits := 0
+			if i < len(rt.PEs()) {
+				keptUnits = rt.PEs()[i].Logic().StateSize()
+			}
+			snap.StateUnits = keptUnits
+			for j := range snap.Pipes {
+				if j != i {
+					snap.Pipes[j] = nil
+				}
+			}
+			if !last {
+				snap.Output.Buf = nil
+			}
+		}
+		units = snap.ElementUnits()
+		outNext = snap.Output.NextSeq
 	}
 
 	ind.mu.Lock()
 	ind.seq++
 	seq := ind.seq
+	if delta != nil {
+		delta.PrevSeq = seq - 1
+		ind.sinceFull++
+	} else {
+		ind.sinceFull = 0
+	}
+	ind.lastOutNext = outNext
 	if accepted != nil {
 		ind.pending[seq] = accepted
 	}
 	ind.taken++
+	ind.pauseTotal += paused
+	ind.lastUnits = units
+	ind.unitsTotal += int64(units)
 	ind.mu.Unlock()
 
-	rt.Machine().Send(ind.cfg.StoreNode, transport.Message{
-		Kind:         transport.KindCheckpoint,
-		Stream:       subjob.CkptStream(rt.Spec().ID),
-		Seq:          seq,
-		State:        state,
-		ElementCount: units,
-	})
-	return ind.cfg.Clock.Since(start)
+	ind.ship.enqueue(shipJob{seq: seq, snap: snap, delta: delta, units: units})
+	return paused
 }
 
 func (ind *Individual) onStoreAck(_ transport.NodeID, msg transport.Message) {
@@ -360,4 +470,22 @@ func (ind *Individual) MeanPause() time.Duration {
 		return 0
 	}
 	return ind.pauseTotal / time.Duration(ind.taken)
+}
+
+// Stats implements Manager.
+func (ind *Individual) Stats() ManagerStats {
+	ind.mu.Lock()
+	st := ManagerStats{
+		Subjob:     ind.cfg.Runtime.Spec().ID,
+		Taken:      ind.taken,
+		Pending:    len(ind.pending),
+		LastUnits:  ind.lastUnits,
+		TotalUnits: ind.unitsTotal,
+	}
+	if ind.taken > 0 {
+		st.MeanPauseMS = float64(ind.pauseTotal) / float64(ind.taken) / 1e6
+	}
+	ind.mu.Unlock()
+	ind.ship.statsInto(&st)
+	return st
 }

@@ -52,6 +52,13 @@ type Options struct {
 	CheckpointInterval time.Duration
 	// CheckpointCosts models checkpoint CPU cost.
 	CheckpointCosts checkpoint.Costs
+	// CheckpointRebaseEvery enables incremental checkpointing when ≥ 2: up
+	// to RebaseEvery-1 delta checkpoints ship between full snapshots. 0
+	// keeps the classic full-snapshot-every-sweep protocol.
+	CheckpointRebaseEvery int
+	// CheckpointMaxInFlight bounds captured-but-unshipped checkpoints
+	// (default 2; see checkpoint.Config).
+	CheckpointMaxInFlight int
 	// AckInterval is the standby's acknowledgment period while active
 	// (default: CheckpointInterval).
 	AckInterval time.Duration
@@ -269,11 +276,13 @@ func (c *Controller) Start() error {
 	}
 
 	cm := checkpoint.NewSweeping(checkpoint.Config{
-		Runtime:   c.primaryRT(),
-		Clock:     c.clk,
-		Interval:  c.opts.CheckpointInterval,
-		StoreNode: secM.ID(),
-		Costs:     c.opts.CheckpointCosts,
+		Runtime:     c.primaryRT(),
+		Clock:       c.clk,
+		Interval:    c.opts.CheckpointInterval,
+		StoreNode:   secM.ID(),
+		Costs:       c.opts.CheckpointCosts,
+		RebaseEvery: c.opts.CheckpointRebaseEvery,
+		MaxInFlight: c.opts.CheckpointMaxInFlight,
 	})
 	c.mu.Lock()
 	c.cm = cm

@@ -242,11 +242,13 @@ func (c *Controller) promote() {
 	}
 
 	newCM := checkpoint.NewSweeping(checkpoint.Config{
-		Runtime:   sec,
-		Clock:     c.clk,
-		Interval:  c.opts.CheckpointInterval,
-		StoreNode: spare.ID(),
-		Costs:     c.opts.CheckpointCosts,
+		Runtime:     sec,
+		Clock:       c.clk,
+		Interval:    c.opts.CheckpointInterval,
+		StoreNode:   spare.ID(),
+		Costs:       c.opts.CheckpointCosts,
+		RebaseEvery: c.opts.CheckpointRebaseEvery,
+		MaxInFlight: c.opts.CheckpointMaxInFlight,
 	})
 	newAcker := checkpoint.NewAcker(newSec, c.clk, c.opts.AckInterval)
 	c.mu.Lock()

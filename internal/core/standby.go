@@ -25,15 +25,25 @@ import (
 // failure) incoming checkpoints are acknowledged but not applied: the live
 // state supersedes them, and trimming remains gated by the standby's own
 // acknowledgments.
+//
+// Incremental checkpoints fold into the standby the same way they fold
+// into a Store: a delta is applied only when it extends the sequence chain
+// of the state the standby currently holds, and a delta that does not is
+// dropped without acknowledgment so upstream keeps the data. Any break —
+// an active period, a retarget, a failed restore — invalidates the chain
+// until the next full snapshot re-bases it.
 type StandbyStore struct {
 	mu sync.Mutex
 	rt *subjob.Runtime
 
-	applied int
-	skipped int
-	work    chan storeReq
-	stop    chan struct{}
-	done    chan struct{}
+	applied    int
+	skipped    int
+	deltaDrops int
+	chain      uint64
+	chainOK    bool
+	work       chan storeReq
+	stop       chan struct{}
+	done       chan struct{}
 }
 
 type storeReq struct {
@@ -66,6 +76,7 @@ func (s *StandbyStore) Retarget(rt *subjob.Runtime) {
 	s.mu.Lock()
 	old := s.rt
 	s.rt = rt
+	s.chainOK = false
 	s.mu.Unlock()
 	if old.Machine() != rt.Machine() {
 		old.Machine().UnregisterStream(subjob.CkptStream(old.Spec().ID))
@@ -97,24 +108,56 @@ func (s *StandbyStore) run() {
 }
 
 func (s *StandbyStore) apply(req storeReq) {
-	snap, err := subjob.DecodeSnapshot(req.msg.State)
+	snap, delta, err := subjob.DecodeCheckpoint(req.msg.State)
 	if err != nil {
 		return
 	}
 	rt := s.runtime()
+
+	s.mu.Lock()
+	chain, chainOK := s.chain, s.chainOK
+	s.mu.Unlock()
+	if delta != nil && (!chainOK || delta.PrevSeq != chain) {
+		// The delta does not extend the state the standby holds (chain broken
+		// by an active period or a lost checkpoint): dropping it without an
+		// acknowledgment keeps the data recoverable upstream until the
+		// manager re-bases with a full snapshot.
+		s.mu.Lock()
+		s.deltaDrops++
+		s.mu.Unlock()
+		return
+	}
+
 	applied := false
+	suspended := false
 	rt.Exclusive(func() {
-		if rt.Suspended() {
+		suspended = rt.Suspended()
+		if !suspended {
+			return
+		}
+		if delta != nil {
+			applied = rt.ApplyDelta(delta) == nil
+		} else {
 			applied = rt.Restore(snap) == nil
 		}
 	})
 	s.mu.Lock()
 	if applied {
 		s.applied++
+		s.chain = req.msg.Seq
+		s.chainOK = true
 	} else {
 		s.skipped++
+		// A live standby's state supersedes checkpoints, and a failed apply
+		// leaves it indeterminate; either way the chain must restart from the
+		// next full snapshot.
+		s.chainOK = false
 	}
+	ack := applied || suspended || delta == nil
 	s.mu.Unlock()
+	if !ack {
+		return
+	}
 	rt.Machine().Send(req.from, transport.Message{
 		Kind:    transport.KindControl,
 		Stream:  subjob.CkptAckStream(rt.Spec().ID),
@@ -136,6 +179,14 @@ func (s *StandbyStore) Skipped() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.skipped
+}
+
+// DeltaDrops returns how many delta checkpoints were dropped,
+// unacknowledged, because they did not extend the standby's state chain.
+func (s *StandbyStore) DeltaDrops() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deltaDrops
 }
 
 // Close stops the store.

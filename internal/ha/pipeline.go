@@ -466,8 +466,8 @@ func (p *Pipeline) RegisterMetrics(reg *metrics.Registry) {
 				return det.Stats()
 			})
 			reg.Register("checkpoint/"+id, func() any {
-				if sw, ok := hc.Checkpoint().(*checkpoint.Sweeping); ok {
-					return sw.Stats()
+				if cm := hc.Checkpoint(); cm != nil {
+					return cm.Stats()
 				}
 				return nil
 			})

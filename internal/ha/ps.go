@@ -24,6 +24,9 @@ type PSOptions struct {
 	CheckpointInterval time.Duration
 	// CheckpointCosts models checkpoint CPU cost.
 	CheckpointCosts checkpoint.Costs
+	// CheckpointRebaseEvery enables incremental checkpointing when ≥ 2 (see
+	// checkpoint.Config.RebaseEvery); 0 ships a full snapshot every sweep.
+	CheckpointRebaseEvery int
 	// DeployCost is the CPU work of deploying the recovery copy on demand
 	// (default 20 ms, standing in for the paper's ~200 ms redeployment).
 	DeployCost time.Duration
@@ -141,11 +144,12 @@ func (p *PS) armLocked() {
 
 	store := checkpoint.NewStore(standbyM, p.cfg.Spec.ID, p.opts.StoreBackend, 0)
 	cm := checkpoint.NewSweeping(checkpoint.Config{
-		Runtime:   active,
-		Clock:     p.clk,
-		Interval:  p.opts.CheckpointInterval,
-		StoreNode: standbyM.ID(),
-		Costs:     p.opts.CheckpointCosts,
+		Runtime:     active,
+		Clock:       p.clk,
+		Interval:    p.opts.CheckpointInterval,
+		StoreNode:   standbyM.ID(),
+		Costs:       p.opts.CheckpointCosts,
+		RebaseEvery: p.opts.CheckpointRebaseEvery,
 	})
 	det := detect.NewHeartbeat(detect.HeartbeatConfig{
 		Monitor:       standbyM,

@@ -1,0 +1,176 @@
+package pe
+
+import (
+	"bytes"
+	"testing"
+
+	"streamha/internal/element"
+)
+
+func buildPatch(finalLen int, chunks ...[]any) []byte {
+	p := AppendPatchHeader(nil, finalLen, len(chunks))
+	for _, c := range chunks {
+		p = AppendPatchChunk(p, c[0].(int), c[1].([]byte))
+	}
+	return p
+}
+
+func TestApplyPatchBasics(t *testing.T) {
+	base := []byte{0, 1, 2, 3, 4, 5, 6, 7}
+	patch := buildPatch(8, []any{2, []byte{9, 9}}, []any{6, []byte{8}})
+	got, err := ApplyPatch(base, patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0, 1, 9, 9, 4, 5, 8, 7}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestApplyPatchResizes(t *testing.T) {
+	// Growth zero-fills; shrink truncates.
+	got, err := ApplyPatch([]byte{1, 2}, buildPatch(4, []any{3, []byte{7}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 0, 7}) {
+		t.Fatalf("grow: %v", got)
+	}
+	got, err = ApplyPatch([]byte{1, 2, 3, 4}, buildPatch(2, []any{0, []byte{9}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{9, 2}) {
+		t.Fatalf("shrink: %v", got)
+	}
+}
+
+func TestApplyPatchRejectsMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":         nil,
+		"truncated":     buildPatch(8, []any{0, []byte{1, 2}})[:3],
+		"out-of-bounds": buildPatch(4, []any{3, []byte{1, 2}}),
+		"overlapping":   buildPatch(8, []any{0, []byte{1, 2}}, []any{1, []byte{3}}),
+		"trailing":      append(buildPatch(4, []any{0, []byte{1}}), 0xFF),
+	}
+	for name, patch := range cases {
+		if _, err := ApplyPatch(make([]byte, 8), patch); err == nil {
+			t.Errorf("%s: patch accepted", name)
+		}
+	}
+}
+
+func TestPatchUnits(t *testing.T) {
+	p := buildPatch(64, []any{0, make([]byte, element.EncodedSize+1)})
+	if got := PatchUnits(p); got != 2 {
+		t.Fatalf("units = %d, want 2 (ceil)", got)
+	}
+}
+
+// TestCounterDeltaEquivalence: applying a baseline snapshot plus the
+// deltas captured between churn rounds must land byte-identical to a full
+// snapshot of the final state.
+func TestCounterDeltaEquivalence(t *testing.T) {
+	emit := func(element.Element) {}
+	live := &CounterLogic{Pad: 64, HotSlots: 40}
+	follower := &CounterLogic{Pad: 64, HotSlots: 40}
+
+	// Baseline: full snapshot, then align tracking.
+	if err := follower.ApplyDelta(buildPatch(len(live.Snapshot()), []any{0, live.Snapshot()})); err != nil {
+		t.Fatal(err)
+	}
+	live.ResetDelta()
+
+	var id uint64
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 17; i++ {
+			id++
+			live.Process(element.Element{ID: id, Payload: int64(id)}, emit)
+		}
+		patch, ok := live.DeltaSnapshot()
+		if !ok {
+			t.Fatalf("round %d: no delta despite baseline", round)
+		}
+		if len(patch) >= len(live.Snapshot()) {
+			t.Fatalf("round %d: delta (%d B) not smaller than full (%d B)", round, len(patch), len(live.Snapshot()))
+		}
+		if err := follower.ApplyDelta(patch); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !bytes.Equal(follower.Snapshot(), live.Snapshot()) {
+			t.Fatalf("round %d: follower diverged", round)
+		}
+	}
+}
+
+func TestCounterDeltaRequiresBaseline(t *testing.T) {
+	emit := func(element.Element) {}
+	l := &CounterLogic{Pad: 4, HotSlots: 2}
+	l.Process(element.Element{ID: 1, Payload: 1}, emit)
+	if _, ok := l.DeltaSnapshot(); ok {
+		t.Fatal("delta produced without a baseline capture")
+	}
+	l.ResetDelta() // baseline established (as CaptureFull does)
+	l.Process(element.Element{ID: 2, Payload: 2}, emit)
+	if _, ok := l.DeltaSnapshot(); !ok {
+		t.Fatal("no delta after baseline")
+	}
+
+	// Restore invalidates the baseline: tracking no longer matches what any
+	// consumer holds.
+	snap := l.Snapshot()
+	if err := l.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	l.Process(element.Element{ID: 3, Payload: 3}, emit)
+	if _, ok := l.DeltaSnapshot(); ok {
+		t.Fatal("delta produced after Restore broke the baseline")
+	}
+}
+
+func TestCounterSnapshotDoesNotDisturbTracking(t *testing.T) {
+	emit := func(element.Element) {}
+	l := &CounterLogic{Pad: 8, HotSlots: 4}
+	l.ResetDelta()
+	l.Process(element.Element{ID: 1, Payload: 1}, emit)
+	_ = l.Snapshot() // recovery-path read; must not clear dirty tracking
+	patch, ok := l.DeltaSnapshot()
+	if !ok || len(patch) == 0 {
+		t.Fatal("Snapshot() cleared the delta tracking")
+	}
+}
+
+func TestCounterRestoreAdoptsPad(t *testing.T) {
+	emit := func(element.Element) {}
+	src := &CounterLogic{Pad: 8, HotSlots: 8}
+	for i := 1; i <= 20; i++ {
+		src.Process(element.Element{ID: uint64(i), Payload: int64(i)}, emit)
+	}
+	dst := &CounterLogic{Pad: 8, HotSlots: 8}
+	if err := dst.Restore(src.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst.Snapshot(), src.Snapshot()) {
+		t.Fatal("restored pad differs from source")
+	}
+}
+
+func TestWindowSumDelta(t *testing.T) {
+	emit := func(element.Element) {}
+	live := &WindowSumLogic{Window: 4}
+	follower := &WindowSumLogic{Window: 4}
+	for i := 1; i <= 9; i++ {
+		live.Process(element.Element{ID: uint64(i), Payload: int64(i)}, emit)
+	}
+	patch, ok := live.DeltaSnapshot()
+	if !ok {
+		t.Fatal("WindowSumLogic must always offer a delta")
+	}
+	if err := follower.ApplyDelta(patch); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(follower.Snapshot(), live.Snapshot()) {
+		t.Fatal("window state diverged")
+	}
+}

@@ -31,25 +31,88 @@ type Logic interface {
 	StateSize() int
 }
 
+// counterPage is the change-tracking granularity of CounterLogic's pad:
+// one dirty bit covers this many pad bytes, so a delta ships whole pages.
+const counterPage = 256
+
 // CounterLogic is the synthetic stateful PE used throughout the paper's
 // evaluation: selectivity 1, an internal state of configurable size, and a
 // running counter that makes state divergence detectable in tests.
+//
+// The pad is real, keyed state: when HotSlots is set, every processed
+// element rewrites one 8-byte slot of the pad (slot = count mod HotSlots),
+// making state churn tunable. CounterLogic implements DeltaLogic by
+// tracking dirty pad pages, so an incremental checkpoint ships the 16-byte
+// counter head plus only the touched pages instead of the whole pad.
 type CounterLogic struct {
 	// Pad is the internal state size in element-equivalents (the paper sets
 	// it to 200 for the overhead experiments).
 	Pad int
+	// HotSlots bounds the working set of the keyed pad state: each processed
+	// element updates slot count%HotSlots. Zero leaves the pad untouched
+	// (the seed behavior: pure transfer-cost ballast).
+	HotSlots int
 
 	count uint64
 	sum   int64
+
+	// pad is the keyed state, allocated lazily at Pad*element.EncodedSize
+	// bytes (or adopted from Restore). nil means an all-zero pad.
+	pad []byte
+	// dirty is a bitmap with one bit per counterPage-sized pad page, set on
+	// write and cleared by DeltaSnapshot/ResetDelta.
+	dirty []uint64
+	// headDirty records a count/sum change since the last capture.
+	headDirty bool
+	// baseline reports whether the change tracking is aligned with a full
+	// snapshot some consumer holds; false after construction or Restore.
+	baseline bool
 }
 
-var _ Logic = (*CounterLogic)(nil)
+var (
+	_ Logic      = (*CounterLogic)(nil)
+	_ DeltaLogic = (*CounterLogic)(nil)
+)
+
+func (l *CounterLogic) padLen() int {
+	if l.pad != nil {
+		return len(l.pad)
+	}
+	return l.Pad * element.EncodedSize
+}
+
+func (l *CounterLogic) ensurePad() {
+	if l.pad == nil {
+		l.pad = make([]byte, l.Pad*element.EncodedSize)
+	}
+	if pages := (len(l.pad) + counterPage - 1) / counterPage; len(l.dirty) < (pages+63)/64 {
+		l.dirty = make([]uint64, (pages+63)/64)
+	}
+}
+
+func (l *CounterLogic) markPage(off int) {
+	page := off / counterPage
+	l.dirty[page/64] |= 1 << (page % 64)
+}
 
 // Process implements Logic with selectivity 1: each input yields one
 // output whose payload is transformed deterministically.
 func (l *CounterLogic) Process(e element.Element, emit func(element.Element)) {
 	l.count++
 	l.sum += e.Payload
+	l.headDirty = true
+	if l.HotSlots > 0 {
+		l.ensurePad()
+		if slots := len(l.pad) / 8; slots > 0 {
+			n := l.HotSlots
+			if n > slots {
+				n = slots
+			}
+			off := int(l.count%uint64(n)) * 8
+			binary.BigEndian.PutUint64(l.pad[off:off+8], l.count)
+			l.markPage(off)
+		}
+	}
 	emit(element.Element{
 		ID:      element.DeriveID(e.ID, 0),
 		Origin:  e.Origin,
@@ -57,29 +120,133 @@ func (l *CounterLogic) Process(e element.Element, emit func(element.Element)) {
 	})
 }
 
-// Snapshot implements Logic.
+// Snapshot implements Logic. It does not disturb delta tracking, so
+// recovery-path snapshots never invalidate an in-flight delta chain.
 func (l *CounterLogic) Snapshot() []byte {
-	buf := make([]byte, 16, 16+l.Pad*element.EncodedSize)
+	buf := make([]byte, 16, 16+l.padLen())
 	binary.BigEndian.PutUint64(buf[0:8], l.count)
 	binary.BigEndian.PutUint64(buf[8:16], uint64(l.sum))
-	// The pad stands in for application state of the configured size; its
-	// content is irrelevant but its transfer cost is what the experiments
-	// measure.
+	// The pad stands in for application state of the configured size; until
+	// HotSlots writes to it, its content is all zeros and only its transfer
+	// cost matters, exactly as in the original synthetic workload.
+	if l.pad != nil {
+		return append(buf, l.pad...)
+	}
 	return append(buf, make([]byte, l.Pad*element.EncodedSize)...)
 }
 
-// Restore implements Logic.
+// Restore implements Logic. The restored logic has no delta baseline until
+// the next ResetDelta: its first checkpoint after recovery must be full.
 func (l *CounterLogic) Restore(state []byte) error {
 	if len(state) < 16 {
 		return fmt.Errorf("pe: counter snapshot too short: %d bytes", len(state))
 	}
 	l.count = binary.BigEndian.Uint64(state[0:8])
 	l.sum = int64(binary.BigEndian.Uint64(state[8:16]))
+	l.pad = append(l.pad[:0], state[16:]...)
+	l.dirty = nil
+	l.headDirty = false
+	l.baseline = false
 	return nil
 }
 
 // StateSize implements Logic.
 func (l *CounterLogic) StateSize() int { return l.Pad }
+
+// DeltaSnapshot implements DeltaLogic: the patch carries the counter head
+// if it changed plus every dirty pad page, then clears the tracking.
+func (l *CounterLogic) DeltaSnapshot() ([]byte, bool) {
+	if !l.baseline {
+		return nil, false
+	}
+	chunks := 0
+	if l.headDirty {
+		chunks++
+	}
+	padLen := l.padLen()
+	pages := (padLen + counterPage - 1) / counterPage
+	for p := 0; p < pages; p++ {
+		if p/64 < len(l.dirty) && l.dirty[p/64]&(1<<(p%64)) != 0 {
+			chunks++
+		}
+	}
+	patch := AppendPatchHeader(make([]byte, 0, 32+chunks*(counterPage+8)), 16+padLen, chunks)
+	if l.headDirty {
+		var head [16]byte
+		binary.BigEndian.PutUint64(head[0:8], l.count)
+		binary.BigEndian.PutUint64(head[8:16], uint64(l.sum))
+		patch = AppendPatchChunk(patch, 0, head[:])
+		l.headDirty = false
+	}
+	for p := 0; p < pages; p++ {
+		if p/64 >= len(l.dirty) || l.dirty[p/64]&(1<<(p%64)) == 0 {
+			continue
+		}
+		start := p * counterPage
+		end := start + counterPage
+		if end > padLen {
+			end = padLen
+		}
+		patch = AppendPatchChunk(patch, 16+start, l.pad[start:end])
+	}
+	for i := range l.dirty {
+		l.dirty[i] = 0
+	}
+	return patch, true
+}
+
+// ApplyDelta implements DeltaLogic, folding a patch into the live state.
+func (l *CounterLogic) ApplyDelta(patch []byte) error {
+	return WalkPatch(patch,
+		func(finalLen int) error {
+			if finalLen < 16 {
+				return fmt.Errorf("pe: counter delta final length %d too short", finalLen)
+			}
+			if want := finalLen - 16; want != len(l.pad) {
+				if want <= cap(l.pad) {
+					grown := l.pad[:want]
+					for i := len(l.pad); i < want; i++ {
+						grown[i] = 0
+					}
+					l.pad = grown
+				} else {
+					grown := make([]byte, want)
+					copy(grown, l.pad)
+					l.pad = grown
+				}
+			}
+			return nil
+		},
+		func(off int, b []byte) error {
+			if off < 16 {
+				// Chunk covers (part of) the counter head: fold through a
+				// scratch image so partial overlaps stay correct.
+				var head [16]byte
+				binary.BigEndian.PutUint64(head[0:8], l.count)
+				binary.BigEndian.PutUint64(head[8:16], uint64(l.sum))
+				n := copy(head[off:], b)
+				l.count = binary.BigEndian.Uint64(head[0:8])
+				l.sum = int64(binary.BigEndian.Uint64(head[8:16]))
+				b = b[n:]
+				off = 16
+				if len(b) == 0 {
+					return nil
+				}
+			}
+			copy(l.pad[off-16:], b)
+			return nil
+		})
+}
+
+// ResetDelta implements DeltaLogic: the caller captured a full Snapshot and
+// future deltas are relative to it.
+func (l *CounterLogic) ResetDelta() {
+	for i := range l.dirty {
+		l.dirty[i] = 0
+	}
+	l.headDirty = false
+	l.baseline = true
+}
 
 // Count returns the number of elements processed, for tests.
 func (l *CounterLogic) Count() uint64 { return l.count }
@@ -158,7 +325,10 @@ type WindowSumLogic struct {
 	lastID uint64
 }
 
-var _ Logic = (*WindowSumLogic)(nil)
+var (
+	_ Logic      = (*WindowSumLogic)(nil)
+	_ DeltaLogic = (*WindowSumLogic)(nil)
+)
 
 // Process implements Logic.
 func (l *WindowSumLogic) Process(e element.Element, emit func(element.Element)) {
@@ -200,3 +370,23 @@ func (l *WindowSumLogic) Restore(state []byte) error {
 
 // StateSize implements Logic.
 func (l *WindowSumLogic) StateSize() int { return 1 }
+
+// DeltaSnapshot implements DeltaLogic. The versioned window state is only
+// 24 bytes, so the delta is simply a whole-state replace chunk; it needs no
+// baseline and is valid even right after a Restore.
+func (l *WindowSumLogic) DeltaSnapshot() ([]byte, bool) {
+	patch := AppendPatchHeader(make([]byte, 0, 32), 24, 1)
+	return AppendPatchChunk(patch, 0, l.Snapshot()), true
+}
+
+// ApplyDelta implements DeltaLogic.
+func (l *WindowSumLogic) ApplyDelta(patch []byte) error {
+	full, err := ApplyPatch(l.Snapshot(), patch)
+	if err != nil {
+		return err
+	}
+	return l.Restore(full)
+}
+
+// ResetDelta implements DeltaLogic (no tracking to align).
+func (l *WindowSumLogic) ResetDelta() {}

@@ -362,6 +362,110 @@ type OutputSnapshot struct {
 	Buf      []element.Element
 }
 
+// OutputDelta is the incremental counterpart of OutputSnapshot: the queue's
+// current floor and next-sequence positions plus only the elements
+// published since the previous capture. FromSeq is the chain link — the
+// NextSeq recorded by that previous capture — so a consumer folding deltas
+// can verify contiguity.
+type OutputDelta struct {
+	StreamID string
+	Floor    uint64
+	NextSeq  uint64
+	FromSeq  uint64
+	New      []element.Element
+}
+
+// SnapshotSince captures the queue state as a delta against a previous
+// capture whose NextSeq was fromSeq: only elements with seq >= fromSeq are
+// copied. It returns ok=false when fromSeq is ahead of the queue (the
+// queue was restored to an older state since the previous capture), in
+// which case the caller must fall back to a full Snapshot.
+func (o *Output) SnapshotSince(fromSeq uint64) (OutputDelta, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if fromSeq > o.nextSeq || fromSeq == 0 {
+		return OutputDelta{}, false
+	}
+	d := OutputDelta{
+		StreamID: o.StreamID,
+		Floor:    o.floor,
+		NextSeq:  o.nextSeq,
+		FromSeq:  fromSeq,
+	}
+	start := fromSeq
+	if start < o.floor+1 {
+		start = o.floor + 1
+	}
+	if start < o.nextSeq {
+		d.New = o.buf.slice(int(start - o.floor - 1))
+	}
+	return d, true
+}
+
+// ApplyDelta folds a delta into a full output-queue snapshot: the retained
+// window is trimmed up to the delta's floor and extended with the newly
+// published elements. It fails when the delta does not chain onto this
+// snapshot (FromSeq mismatch) or would move the queue backwards.
+func (s *OutputSnapshot) ApplyDelta(d OutputDelta) error {
+	if d.StreamID != s.StreamID {
+		return fmt.Errorf("queue: output delta for stream %q applied to %q", d.StreamID, s.StreamID)
+	}
+	if d.FromSeq != s.NextSeq {
+		return fmt.Errorf("queue: output delta chains from seq %d, snapshot is at %d", d.FromSeq, s.NextSeq)
+	}
+	if d.Floor < s.Floor || d.NextSeq < s.NextSeq {
+		return fmt.Errorf("queue: output delta moves stream %q backwards", d.StreamID)
+	}
+	if n := int(d.Floor - s.Floor); n > 0 {
+		if n > len(s.Buf) {
+			n = len(s.Buf)
+		}
+		s.Buf = s.Buf[n:]
+	}
+	s.Buf = append(s.Buf, d.New...)
+	if want := int(d.NextSeq - 1 - d.Floor); len(s.Buf) != want {
+		return fmt.Errorf("queue: output delta fold for %q yields %d retained elements, want %d",
+			d.StreamID, len(s.Buf), want)
+	}
+	s.Floor = d.Floor
+	s.NextSeq = d.NextSeq
+	return nil
+}
+
+// ApplyDelta folds a delta into the live queue, the standby-refresh
+// counterpart of Restore: the retained window advances to the delta's
+// floor and the newly published elements are appended. The queue takes
+// ownership of d.New. Fails when the delta does not chain onto the queue's
+// current position.
+func (o *Output) ApplyDelta(d OutputDelta) error {
+	if d.StreamID != o.StreamID {
+		return fmt.Errorf("queue: output delta for stream %q applied to %q", d.StreamID, o.StreamID)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if d.FromSeq != o.nextSeq {
+		return fmt.Errorf("queue: output delta chains from seq %d, queue is at %d", d.FromSeq, o.nextSeq)
+	}
+	if d.Floor < o.floor || d.NextSeq < o.nextSeq {
+		return fmt.Errorf("queue: output delta moves stream %q backwards", d.StreamID)
+	}
+	if n := int(d.Floor - o.floor); n > 0 {
+		if n > o.buf.len() {
+			n = o.buf.len()
+		}
+		o.buf.trim(n)
+	}
+	o.buf.append(d.New)
+	o.floor = d.Floor
+	o.nextSeq = d.NextSeq
+	for _, sub := range o.subs {
+		if sub.acked < o.floor {
+			sub.acked = o.floor
+		}
+	}
+	return nil
+}
+
 // Len returns the number of retained (unacknowledged) elements.
 func (o *Output) Len() int {
 	o.mu.Lock()

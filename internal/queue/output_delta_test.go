@@ -1,0 +1,113 @@
+package queue
+
+import (
+	"testing"
+
+	"streamha/internal/transport"
+)
+
+// TestSnapshotSinceFoldEquivalence: a snapshot plus the deltas captured
+// between publish/ack rounds equals a fresh full snapshot.
+func TestSnapshotSinceFoldEquivalence(t *testing.T) {
+	s := newCaptureSender()
+	o := NewOutput("st", s.send)
+	o.Subscribe("down", "x", true)
+
+	base := o.Snapshot()
+	last := base.NextSeq
+
+	rounds := []struct {
+		publish int
+		ack     uint64
+	}{
+		{3, 0}, {4, 2}, {0, 5}, {2, 7},
+	}
+	for i, r := range rounds {
+		if r.publish > 0 {
+			o.Publish(elems(r.publish))
+		}
+		if r.ack > 0 {
+			o.Ack("down", r.ack)
+		}
+		d, ok := o.SnapshotSince(last)
+		if !ok {
+			t.Fatalf("round %d: SnapshotSince(%d) refused", i, last)
+		}
+		if err := base.ApplyDelta(d); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		last = d.NextSeq
+
+		full := o.Snapshot()
+		if base.Floor != full.Floor || base.NextSeq != full.NextSeq || len(base.Buf) != len(full.Buf) {
+			t.Fatalf("round %d: folded (f=%d n=%d len=%d) != full (f=%d n=%d len=%d)",
+				i, base.Floor, base.NextSeq, len(base.Buf), full.Floor, full.NextSeq, len(full.Buf))
+		}
+		for j := range full.Buf {
+			if base.Buf[j].Seq != full.Buf[j].Seq {
+				t.Fatalf("round %d: buf[%d] seq %d != %d", i, j, base.Buf[j].Seq, full.Buf[j].Seq)
+			}
+		}
+	}
+}
+
+func TestSnapshotSinceRefusesAheadOrZero(t *testing.T) {
+	o := NewOutput("st", func(transport.NodeID, transport.Message) {})
+	if _, ok := o.SnapshotSince(0); ok {
+		t.Fatal("fromSeq 0 must force a full snapshot")
+	}
+	if _, ok := o.SnapshotSince(5); ok {
+		t.Fatal("fromSeq ahead of the queue must force a full snapshot")
+	}
+	if _, ok := o.SnapshotSince(1); !ok {
+		t.Fatal("fromSeq at the queue head must succeed")
+	}
+}
+
+func TestOutputSnapshotApplyDeltaRejectsBreaks(t *testing.T) {
+	snap := OutputSnapshot{StreamID: "st", Floor: 0, NextSeq: 3, Buf: elems(2)}
+	if err := snap.ApplyDelta(OutputDelta{StreamID: "other", FromSeq: 3, NextSeq: 3}); err == nil {
+		t.Fatal("wrong stream accepted")
+	}
+	if err := snap.ApplyDelta(OutputDelta{StreamID: "st", FromSeq: 5, NextSeq: 6}); err == nil {
+		t.Fatal("non-chaining FromSeq accepted")
+	}
+	if err := snap.ApplyDelta(OutputDelta{StreamID: "st", FromSeq: 3, NextSeq: 1}); err == nil {
+		t.Fatal("backwards delta accepted")
+	}
+}
+
+// TestLiveApplyDeltaMatchesRestore: folding a delta into a live queue
+// leaves it in the same externally visible state as restoring the folded
+// snapshot.
+func TestLiveApplyDeltaMatchesRestore(t *testing.T) {
+	s := newCaptureSender()
+	src := NewOutput("st", s.send)
+	src.Subscribe("down", "x", true)
+	src.Publish(elems(4))
+	baseSnap := src.Snapshot()
+
+	src.Publish(elems(3))
+	src.Ack("down", 2)
+	d, ok := src.SnapshotSince(baseSnap.NextSeq)
+	if !ok {
+		t.Fatal("delta refused")
+	}
+
+	live := NewOutput("st", func(transport.NodeID, transport.Message) {})
+	if err := live.Restore(baseSnap); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	if live.Floor() != src.Floor() || live.Len() != src.Len() {
+		t.Fatalf("folded live queue floor=%d len=%d, source floor=%d len=%d",
+			live.Floor(), live.Len(), src.Floor(), src.Len())
+	}
+
+	// A stale delta no longer chains.
+	if err := live.ApplyDelta(d); err == nil {
+		t.Fatal("replayed delta accepted")
+	}
+}

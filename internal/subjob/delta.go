@@ -1,0 +1,111 @@
+package subjob
+
+import (
+	"fmt"
+
+	"streamha/internal/element"
+	"streamha/internal/pe"
+	"streamha/internal/queue"
+)
+
+// Delta is an incremental checkpoint: the changes of one subjob copy since
+// the immediately preceding checkpoint in the same chain. PE state travels
+// as byte-range patches (see pe.DeltaSnapshot) with a per-PE full-snapshot
+// fallback, the output queue as an OutputDelta carrying only newly
+// published elements, and pipes/input — which are small, bounded queues —
+// as whole replacements guarded by presence flags so the individual
+// variant can ship a single PE's share.
+//
+// A delta is only meaningful relative to the checkpoint whose sequence
+// number equals PrevSeq: the store folds an unbroken chain of deltas into
+// its retained full image and must drop (without acknowledging) any delta
+// whose predecessor it never stored.
+type Delta struct {
+	SubjobID string
+	// PrevSeq is the checkpoint sequence number this delta chains onto.
+	PrevSeq uint64
+	// Consumed is the first PE's consumption positions at capture time (or
+	// the input-queue accept positions for variants that include the input
+	// queue); nil leaves the folded snapshot's positions unchanged.
+	Consumed map[string]uint64
+	// PEDeltas[i] is PE i's state patch; nil when the PE is absent from
+	// this delta or shipped in full instead.
+	PEDeltas [][]byte
+	// PEFull[i] is PE i's full state, the fallback when the logic cannot
+	// produce a delta (no baseline after a restore, or not a DeltaLogic).
+	PEFull [][]byte
+	// Pipes[i] replaces pipe i's content when PipeSet[i] is true.
+	Pipes   [][]element.Element
+	PipeSet []bool
+	// Input replaces the input-queue content when HasInput is true.
+	Input    []queue.In
+	HasInput bool
+	// Output advances the output queue when HasOutput is true.
+	Output    queue.OutputDelta
+	HasOutput bool
+	// StateUnits is the shipped internal-state size in element-equivalents
+	// (patch bytes rounded up to elements, plus full fallbacks).
+	StateUnits int
+}
+
+// ElementUnits returns the delta's shipped size in data-element
+// equivalents, the accounting unit of the paper's overhead figures.
+func (d *Delta) ElementUnits() int {
+	n := d.StateUnits + len(d.Input)
+	if d.HasOutput {
+		n += len(d.Output.New)
+	}
+	for i, p := range d.Pipes {
+		if i < len(d.PipeSet) && d.PipeSet[i] {
+			n += len(p)
+		}
+	}
+	return n
+}
+
+// ApplyDelta folds a delta into a full snapshot image in place: patched PE
+// states, replaced pipes/input, and an advanced output window. The
+// snapshot takes ownership of the delta's slices. Chain validity (PrevSeq)
+// is the caller's responsibility; shape mismatches and non-contiguous
+// output deltas fail without guaranteeing an unmodified snapshot, so
+// callers must discard the image on error.
+func (s *Snapshot) ApplyDelta(d *Delta) error {
+	if d.SubjobID != s.SubjobID {
+		return fmt.Errorf("subjob: delta for %q folded into snapshot of %q", d.SubjobID, s.SubjobID)
+	}
+	if len(d.PEDeltas) != len(s.PEStates) || len(d.PEFull) != len(s.PEStates) {
+		return fmt.Errorf("subjob: delta covers %d PEs, snapshot has %d", len(d.PEDeltas), len(s.PEStates))
+	}
+	if len(d.Pipes) != len(s.Pipes) || len(d.PipeSet) != len(s.Pipes) {
+		return fmt.Errorf("subjob: delta covers %d pipes, snapshot has %d", len(d.Pipes), len(s.Pipes))
+	}
+	for i := range d.PEFull {
+		switch {
+		case d.PEFull[i] != nil:
+			s.PEStates[i] = d.PEFull[i]
+		case d.PEDeltas[i] != nil:
+			patched, err := pe.ApplyPatch(s.PEStates[i], d.PEDeltas[i])
+			if err != nil {
+				return fmt.Errorf("subjob: fold PE %d delta: %w", i, err)
+			}
+			s.PEStates[i] = patched
+		}
+	}
+	for i, set := range d.PipeSet {
+		if set {
+			s.Pipes[i] = d.Pipes[i]
+		}
+	}
+	if d.HasInput {
+		s.Input = d.Input
+	}
+	if d.HasOutput {
+		if err := s.Output.ApplyDelta(d.Output); err != nil {
+			return fmt.Errorf("subjob: fold output delta: %w", err)
+		}
+	}
+	if d.Consumed != nil {
+		s.Consumed = d.Consumed
+	}
+	return nil
+}

@@ -337,6 +337,145 @@ func (r *Runtime) Restore(s *Snapshot) error {
 	return nil
 }
 
+// CaptureFull captures a full snapshot and aligns every PE's delta
+// tracking with it, so a subsequent CaptureDelta describes exactly the
+// changes since this snapshot. Checkpoint managers use it for rebase
+// checkpoints; recovery paths keep using Snapshot, which leaves the
+// tracking untouched. The copy must be paused (or suspended).
+func (r *Runtime) CaptureFull() *Snapshot {
+	s := r.Snapshot()
+	for _, p := range r.pes {
+		if dl, ok := p.Logic().(pe.DeltaLogic); ok {
+			dl.ResetDelta()
+		}
+	}
+	return s
+}
+
+// DeltaOptions selects what a CaptureDelta covers.
+type DeltaOptions struct {
+	// OutputSince is the output queue's NextSeq recorded at the previous
+	// capture that included the output; the delta carries only elements
+	// published since. Ignored unless IncludeOutput.
+	OutputSince uint64
+	// IncludeOutput covers the output queue (all variants except the
+	// individual variant's non-final PEs).
+	IncludeOutput bool
+	// IncludeInput covers the input queue (synchronous variant, and the
+	// individual variant's first PE).
+	IncludeInput bool
+	// OnlyPE restricts PE state and pipes to a single PE (the individual
+	// variant); -1 covers every PE. Restricting resets only that PE's
+	// change tracking, so the rotation's per-PE chains stay intact.
+	OnlyPE int
+}
+
+// CaptureDelta captures an incremental checkpoint: each covered PE's state
+// patch (with a full-state fallback where no delta baseline exists), pipe
+// contents, and the output queue's advance since OutputSince. It returns
+// ok=false when the output queue cannot express the requested advance —
+// the runtime was restored to an older state since the previous capture —
+// in which case the caller must rebase with CaptureFull. The copy must be
+// paused (or suspended).
+func (r *Runtime) CaptureDelta(opt DeltaOptions) (*Delta, bool) {
+	d := &Delta{
+		SubjobID: r.spec.ID,
+		Consumed: r.pes[0].ConsumedPositions(),
+		PEDeltas: make([][]byte, len(r.pes)),
+		PEFull:   make([][]byte, len(r.pes)),
+		Pipes:    make([][]element.Element, len(r.pipes)),
+		PipeSet:  make([]bool, len(r.pipes)),
+	}
+	if opt.IncludeOutput {
+		od, ok := r.out.SnapshotSince(opt.OutputSince)
+		if !ok {
+			return nil, false
+		}
+		d.Output = od
+		d.HasOutput = true
+	}
+	for i, p := range r.pes {
+		if opt.OnlyPE >= 0 && i != opt.OnlyPE {
+			continue
+		}
+		logic := p.Logic()
+		if dl, ok := logic.(pe.DeltaLogic); ok {
+			if patch, ok := dl.DeltaSnapshot(); ok {
+				d.PEDeltas[i] = patch
+				d.StateUnits += pe.PatchUnits(patch)
+				continue
+			}
+			dl.ResetDelta()
+		}
+		full := logic.Snapshot()
+		if full == nil {
+			full = []byte{}
+		}
+		d.PEFull[i] = full
+		d.StateUnits += logic.StateSize()
+	}
+	for i, pp := range r.pipes {
+		if opt.OnlyPE >= 0 && i != opt.OnlyPE {
+			continue
+		}
+		d.Pipes[i] = pp.Snapshot()
+		d.PipeSet[i] = true
+	}
+	if opt.IncludeInput {
+		d.Input = r.in.SnapshotBuf()
+		d.HasInput = true
+	}
+	return d, true
+}
+
+// ApplyDelta folds a delta checkpoint into the live copy — the standby
+// refresh counterpart of Restore. Chain validity (PrevSeq) is the caller's
+// responsibility; a non-contiguous output delta or shape mismatch fails
+// without guaranteeing an unmodified copy, so callers must re-baseline
+// from a full snapshot after an error. The copy must be paused (or
+// suspended).
+func (r *Runtime) ApplyDelta(d *Delta) error {
+	if d.SubjobID != r.spec.ID {
+		return fmt.Errorf("subjob %s: delta for %s", r.spec.ID, d.SubjobID)
+	}
+	if len(d.PEDeltas) != len(r.pes) || len(d.PEFull) != len(r.pes) || len(d.Pipes) != len(r.pipes) {
+		return fmt.Errorf("subjob %s: delta shape mismatch", r.spec.ID)
+	}
+	if d.HasOutput {
+		// Validate the output chain first: if the delta does not chain onto
+		// this copy, fail before any state is touched.
+		if err := r.out.ApplyDelta(d.Output); err != nil {
+			return fmt.Errorf("subjob %s: %w", r.spec.ID, err)
+		}
+	}
+	for i, p := range r.pes {
+		switch {
+		case d.PEFull[i] != nil:
+			if err := p.Logic().Restore(d.PEFull[i]); err != nil {
+				return fmt.Errorf("subjob %s: apply PE %d full state: %w", r.spec.ID, i, err)
+			}
+		case d.PEDeltas[i] != nil:
+			dl, ok := p.Logic().(pe.DeltaLogic)
+			if !ok {
+				return fmt.Errorf("subjob %s: PE %d received a delta but its logic cannot apply one", r.spec.ID, i)
+			}
+			if err := dl.ApplyDelta(d.PEDeltas[i]); err != nil {
+				return fmt.Errorf("subjob %s: apply PE %d delta: %w", r.spec.ID, i, err)
+			}
+		}
+	}
+	for i, pp := range r.pipes {
+		if d.PipeSet[i] {
+			pp.Restore(d.Pipes[i])
+		}
+	}
+	if d.Consumed != nil {
+		r.pes[0].SetConsumedPositions(d.Consumed)
+		r.in.SetAccepted(d.Consumed)
+	}
+	return nil
+}
+
 // noteSender remembers that node delivered data on logical, making it an
 // acknowledgment target until it goes stale.
 func (r *Runtime) noteSender(logical string, node transport.NodeID) {

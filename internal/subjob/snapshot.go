@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
-	"sync"
 
 	"streamha/internal/element"
 	"streamha/internal/queue"
@@ -49,30 +48,66 @@ func (s *Snapshot) ElementUnits() int {
 	return n
 }
 
-// encodeBufPool recycles the scratch buffers snapshot encoding grows into.
-// Checkpoints are taken continuously (every trim under sweeping
-// checkpointing), so reusing the buffer keeps the encode path from
-// re-growing a fresh one each time; only the exact-size result is
-// allocated per call.
-var encodeBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
-
-// Encode serializes the snapshot for a checkpoint message. The returned
-// slice is freshly allocated and owned by the caller.
-func (s *Snapshot) Encode() ([]byte, error) {
-	buf := encodeBufPool.Get().(*bytes.Buffer)
-	buf.Reset()
-	if err := gob.NewEncoder(buf).Encode(s); err != nil {
-		encodeBufPool.Put(buf)
-		return nil, fmt.Errorf("subjob: encode snapshot: %w", err)
+// Clone returns a deep copy of the snapshot. The checkpoint store folds
+// deltas into its retained image in place, so consumers that hold a
+// snapshot across that folding (Store.Latest) receive an independent copy.
+func (s *Snapshot) Clone() *Snapshot {
+	c := &Snapshot{
+		SubjobID:   s.SubjobID,
+		PEStates:   make([][]byte, len(s.PEStates)),
+		Pipes:      make([][]element.Element, len(s.Pipes)),
+		Output:     s.Output,
+		StateUnits: s.StateUnits,
 	}
-	out := make([]byte, buf.Len())
-	copy(out, buf.Bytes())
-	encodeBufPool.Put(buf)
-	return out, nil
+	if s.Consumed != nil {
+		c.Consumed = make(map[string]uint64, len(s.Consumed))
+		for k, v := range s.Consumed {
+			c.Consumed[k] = v
+		}
+	}
+	for i, st := range s.PEStates {
+		if st != nil {
+			c.PEStates[i] = append([]byte(nil), st...)
+		}
+	}
+	for i, p := range s.Pipes {
+		c.Pipes[i] = element.CloneBatch(p)
+	}
+	if s.Input != nil {
+		c.Input = append([]queue.In(nil), s.Input...)
+	}
+	c.Output.Buf = element.CloneBatch(s.Output.Buf)
+	return c
 }
 
-// DecodeSnapshot parses an encoded snapshot.
+// Encode serializes the snapshot for a checkpoint message using the binary
+// snapshot codec (see codec.go). The returned slice is freshly allocated
+// at its exact size and owned by the caller.
+func (s *Snapshot) Encode() ([]byte, error) {
+	return s.AppendTo(make([]byte, 0, s.EncodedSize())), nil
+}
+
+// EncodeGob serializes the snapshot with the seed's encoding/gob codec. It
+// is kept as the frozen baseline for the checkpoint benchmarks and as the
+// interop fallback exercised by DecodeSnapshot's format sniffing.
+func (s *Snapshot) EncodeGob() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("subjob: encode snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSnapshot parses an encoded full snapshot. The binary format is
+// detected by its magic preamble; anything else is treated as the legacy
+// gob encoding.
 func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	if hasMagic(b, snapMagic) {
+		return decodeSnapshotBinary(b)
+	}
+	if hasMagic(b, deltaMagic) {
+		return nil, fmt.Errorf("subjob: delta checkpoint where full snapshot expected")
+	}
 	var s Snapshot
 	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&s); err != nil {
 		return nil, fmt.Errorf("subjob: decode snapshot: %w", err)
