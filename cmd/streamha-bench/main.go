@@ -13,7 +13,9 @@
 // "delaystats" (observability-plane record/query microbenchmarks),
 // "wire" (frame codec and latency-scheduler microbenchmarks) and
 // "checkpoint" (snapshot codec, pause-window and shipped-volume
-// microbenchmarks; -smoke runs its fast codec subset only).
+// microbenchmarks; -smoke runs its fast codec subset only) and
+// "lifecycle" (control-plane transition logs per standby policy under a
+// scripted stall + fail-stop).
 package main
 
 import (
@@ -28,7 +30,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1,2,4,5,6,7,8,9,11,12,sweeping,ablation,throughput,delaystats,wire,checkpoint or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1,2,4,5,6,7,8,9,11,12,sweeping,ablation,throughput,delaystats,wire,checkpoint,lifecycle or all")
 	quick := flag.Bool("quick", false, "reduced sweeps and repeats for a fast look")
 	smoke := flag.Bool("smoke", false, "health-check subset for CI (currently affects -fig checkpoint)")
 	flag.Parse()
@@ -211,9 +213,18 @@ func run(fig string, quick, smoke bool) error {
 		show(r.Table(), time.Since(start))
 	}
 
+	if want("lifecycle") {
+		start := time.Now()
+		r, err := experiment.RunLifecycle(params)
+		if err != nil {
+			return err
+		}
+		show(r.Table(), time.Since(start))
+	}
+
 	if !ran {
 		return fmt.Errorf("unknown figure %q (try: %s)", fig,
-			strings.Join([]string{"1", "2", "4", "5", "6", "7", "8", "9", "11", "12", "sweeping", "ablation", "throughput", "delaystats", "wire", "checkpoint", "all"}, ", "))
+			strings.Join([]string{"1", "2", "4", "5", "6", "7", "8", "9", "11", "12", "sweeping", "ablation", "throughput", "delaystats", "wire", "checkpoint", "lifecycle", "all"}, ", "))
 	}
 	return nil
 }

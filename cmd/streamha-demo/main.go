@@ -57,7 +57,7 @@ func main() {
 	}
 	status := func() {
 		fmt.Printf("    primary=%s standby-active=%v delivered=%d mean-delay=%.1fms\n",
-			g.Hybrid.PrimaryRuntime().Node(), g.Hybrid.Active(),
+			g.HA.PrimaryRuntime().Node(), g.HA.Active(),
 			pipe.Sink().Received(), pipe.Sink().Delays().Mean().Seconds()*1e3)
 	}
 
@@ -66,7 +66,7 @@ func main() {
 	fmt.Println("    checkpoints refresh its state directly in memory.")
 	time.Sleep(1200 * time.Millisecond)
 	status()
-	if n := len(g.Hybrid.Switches()); n > 0 {
+	if n := len(g.HA.Switches()); n > 0 {
 		fmt.Printf("    (%d false-alarm switchover(s) from scheduling jitter already rolled\n", n)
 		fmt.Println("    back — the first-miss trigger tolerates them by design)")
 	}
@@ -77,7 +77,7 @@ func main() {
 	time.Sleep(500 * time.Millisecond)
 	cl.Machine("primary").CPU().SetBackgroundLoad(0)
 	time.Sleep(600 * time.Millisecond)
-	for _, sw := range g.Hybrid.Switches() {
+	for _, sw := range g.HA.Switches() {
 		if sw.DetectedAt.Before(spikeStart) {
 			continue
 		}
@@ -87,7 +87,7 @@ func main() {
 			sw.ReadyAt.Sub(sw.DetectedAt).Seconds()*1e3)
 		break
 	}
-	for _, rb := range g.Hybrid.Rollbacks() {
+	for _, rb := range g.HA.Rollbacks() {
 		if rb.StartedAt.Before(spikeStart) {
 			continue
 		}
@@ -102,12 +102,12 @@ func main() {
 	step("phase 3: fail-stop — 'primary' crashes for good")
 	cl.Machine("primary").Crash()
 	time.Sleep(2200 * time.Millisecond)
-	if n := len(g.Hybrid.Promotions()); n > 0 {
+	if n := len(g.HA.Promotions()); n > 0 {
 		fmt.Printf("    the failure outlasted the fail-stop threshold: the standby was\n")
 		fmt.Printf("    promoted to primary and a new standby was deployed on 'spare'.\n")
 	}
 	status()
-	if sec := g.Hybrid.SecondaryRuntime(); sec != nil {
+	if sec := g.HA.SecondaryRuntime(); sec != nil {
 		fmt.Printf("    new standby on %s (suspended=%v)\n", sec.Node(), sec.Suspended())
 	}
 
@@ -119,7 +119,7 @@ func main() {
 	dups, gaps := pipe.Sink().In().Drops()
 	fmt.Printf("    delivered %d window sums end-to-end\n", pipe.Sink().Received())
 	fmt.Printf("    switchovers=%d rollbacks=%d promotions=%d\n",
-		len(g.Hybrid.Switches()), len(g.Hybrid.Rollbacks()), len(g.Hybrid.Promotions()))
+		len(g.HA.Switches()), len(g.HA.Rollbacks()), len(g.HA.Promotions()))
 	fmt.Printf("    duplicates eliminated=%d, sequence gaps=%d (must be 0: no loss)\n", dups, gaps)
 	st := cl.Stats()
 	fmt.Printf("    network traffic: %d messages, %d element-units (%d data, %d checkpoint)\n",

@@ -52,6 +52,7 @@ import (
 	"streamha/internal/checkpoint"
 	"streamha/internal/clock"
 	"streamha/internal/cluster"
+	"streamha/internal/ha"
 	"streamha/internal/machine"
 	"streamha/internal/metrics"
 	"streamha/internal/pe"
@@ -118,7 +119,11 @@ func run(configPath, process string, snapshotSec int, metricsAddr string) error 
 		return fmt.Errorf("process %q not in config", process)
 	}
 	for _, sj := range dep.Job.Subjobs {
-		if sj.Mode != "none" && sj.Mode != "active" {
+		mode, err := ha.ParseMode(sj.Mode)
+		if err != nil {
+			return fmt.Errorf("subjob %s: %w", sj.ID, err)
+		}
+		if mode != ha.ModeNone && mode != ha.ModeActive {
 			return fmt.Errorf("subjob %s: mode %q is not supported multi-process (use none or active)", sj.ID, sj.Mode)
 		}
 	}
@@ -278,7 +283,7 @@ func run(configPath, process string, snapshotSec int, metricsAddr string) error 
 			}
 		}()
 		stop = append(stop, func() { srv.Close() })
-		fmt.Printf("serving metrics at http://%s/metrics.json\n", ln.Addr())
+		fmt.Printf("serving metrics at http://%s/metrics.json (JSON) and /metrics (Prometheus)\n", ln.Addr())
 	}
 
 	// Run until the deadline or a signal.
@@ -326,7 +331,9 @@ loop:
 	return nil
 }
 
-// metricsMux serves a fresh registry snapshot on GET /metrics.json.
+// metricsMux serves a fresh registry snapshot on GET /metrics.json (JSON)
+// and GET /metrics (Prometheus text exposition), both from the same
+// registry, so a scraper and a dashboard observe the same state.
 func metricsMux(reg *metrics.Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
@@ -341,6 +348,16 @@ func metricsMux(reg *metrics.Registry) *http.ServeMux {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(out)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", metrics.PrometheusContentType)
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	})
 	return mux
 }

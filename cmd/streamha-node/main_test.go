@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -124,6 +125,42 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 
 	post, err := http.Post(srv.URL+"/metrics.json", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status %d", post.StatusCode)
+	}
+}
+
+func TestPrometheusEndpoint(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Register("probe", func() any { return map[string]int{"value": 42} })
+	srv := httptest.NewServer(metricsMux(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != metrics.PrometheusContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "streamha_probe_value 42\n"
+	if !strings.Contains(string(body), want) {
+		t.Fatalf("exposition missing %q:\n%s", want, body)
+	}
+
+	post, err := http.Post(srv.URL+"/metrics", "text/plain", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -68,7 +68,7 @@ func main() {
 	g := topo.Group("stats")
 	sink := topo.Sink("dashboard")
 	fmt.Printf("switchovers on the stats branch: %d (rollbacks: %d)\n",
-		len(g.Hybrid.Switches()), len(g.Hybrid.Rollbacks()))
+		len(g.HA.Switches()), len(g.HA.Rollbacks()))
 	fmt.Printf("dashboard received %d elements, mean delay %.1f ms\n",
 		sink.Received(), sink.Delays().Mean().Seconds()*1e3)
 

@@ -84,7 +84,7 @@ func deploy(shared bool, fraction float64) (time.Duration, int, error) {
 	time.Sleep(4 * time.Second)
 	switches := 0
 	for _, g := range pipe.Groups() {
-		switches += len(g.Hybrid.Switches())
+		switches += len(g.HA.Switches())
 	}
 	for _, inj := range injectors {
 		inj.Stop()

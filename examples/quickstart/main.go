@@ -61,11 +61,11 @@ func main() {
 	time.Sleep(1 * time.Second)
 
 	g := pipe.Group(0)
-	for i, sw := range g.Hybrid.Switches() {
+	for i, sw := range g.HA.Switches() {
 		fmt.Printf("switchover %d: detected %.1f ms into the failure, standby active %.1f ms later\n",
 			i+1, sw.DetectedAt.Sub(spikeStart).Seconds()*1e3, sw.ReadyAt.Sub(sw.DetectedAt).Seconds()*1e3)
 	}
-	for i, rb := range g.Hybrid.Rollbacks() {
+	for i, rb := range g.HA.Rollbacks() {
 		fmt.Printf("rollback %d: %.1f ms, %d element-units of state read back (adopted=%v)\n",
 			i+1, rb.DoneAt.Sub(rb.StartedAt).Seconds()*1e3, rb.StateUnits, rb.Adopted)
 	}

@@ -151,8 +151,8 @@ func main() {
 
 	g := pipe.Group(1)
 	fmt.Printf("spikes injected:    %d\n", len(inj.Spikes()))
-	fmt.Printf("switchovers:        %d\n", len(g.Hybrid.Switches()))
-	fmt.Printf("rollbacks:          %d\n", len(g.Hybrid.Rollbacks()))
+	fmt.Printf("switchovers:        %d\n", len(g.HA.Switches()))
+	fmt.Printf("rollbacks:          %d\n", len(g.HA.Rollbacks()))
 	fmt.Printf("alerts delivered:   %d\n", pipe.Sink().Received())
 	fmt.Printf("mean alert delay:   %.1f ms\n", pipe.Sink().Delays().Mean().Seconds()*1e3)
 	fmt.Printf("p99 alert delay:    %.1f ms\n", pipe.Sink().Delays().Percentile(99).Seconds()*1e3)

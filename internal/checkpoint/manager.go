@@ -84,6 +84,12 @@ type Config struct {
 	// RebaseEvery-1 delta checkpoints are taken between full snapshots.
 	// 0 or 1 captures a full snapshot every time (the classic protocol).
 	RebaseEvery int
+	// RebaseAdaptive enables the byte-budget rebase policy: deltas keep
+	// shipping until their cumulative size since the last full snapshot
+	// exceeds that snapshot's size, then the manager rebases. It turns on
+	// incremental checkpointing by itself; RebaseEvery remains a manual
+	// cadence cap when both are set.
+	RebaseAdaptive bool
 	// MaxInFlight bounds captured-but-unshipped checkpoints; the capture
 	// path blocks once the bound is reached. Default 2.
 	MaxInFlight int
@@ -99,6 +105,10 @@ type Manager interface {
 	// returning the time the pause lasted. Used by recovery paths and
 	// benchmarks. The encode and ship happen on the background shipper.
 	CheckpointNow() time.Duration
+	// ForceFull makes the next checkpoint a full snapshot regardless of
+	// the incremental cadence — the rebase a standby-side store requests
+	// after reporting a broken delta chain.
+	ForceFull()
 	// Stats captures the manager's activity for the metrics registry.
 	Stats() ManagerStats
 }
@@ -127,6 +137,7 @@ type Sweeping struct {
 	unitsTotal  int64
 	sinceFull   int
 	lastOutNext uint64
+	fullNext    bool
 	started     bool
 }
 
@@ -203,15 +214,33 @@ func (s *Sweeping) run() {
 	}
 }
 
+// adaptivePendingLimit bounds the pending-ack window under the purely
+// adaptive rebase policy (no manual cadence to derive a bound from).
+const adaptivePendingLimit = 8
+
 // wantDeltaLocked decides whether the next checkpoint may be incremental:
-// rebasing is on, a full baseline exists, the rebase cadence has not come
-// due, and the store is keeping up (a growing pending window means deltas
-// are being dropped — likely an unfoldable chain — so rebase with a full).
+// rebasing is on (manual cadence or adaptive byte budget), a full baseline
+// exists, the manual cadence has not come due, and the store is keeping up
+// (a growing pending window means deltas are being dropped — likely an
+// unfoldable chain — so rebase with a full). The adaptive policy's byte
+// check lives on the shipper (see shipper.rebaseDue), which the callers
+// consult after this.
 func wantDeltaLocked(cfg *Config, sinceFull int, lastOutNext uint64, pending int) bool {
-	return cfg.RebaseEvery >= 2 &&
-		lastOutNext > 0 &&
-		sinceFull < cfg.RebaseEvery-1 &&
-		pending <= cfg.RebaseEvery*2
+	if lastOutNext == 0 {
+		return false
+	}
+	manual := cfg.RebaseEvery >= 2
+	if !manual && !cfg.RebaseAdaptive {
+		return false
+	}
+	if manual && sinceFull >= cfg.RebaseEvery-1 {
+		return false
+	}
+	limit := adaptivePendingLimit
+	if manual {
+		limit = cfg.RebaseEvery * 2
+	}
+	return pending <= limit
 }
 
 // CheckpointNow implements Manager: pause, capture (without the input
@@ -226,9 +255,13 @@ func (s *Sweeping) CheckpointNow() time.Duration {
 	defer s.capMu.Unlock()
 
 	s.mu.Lock()
-	tryDelta := wantDeltaLocked(&s.cfg, s.sinceFull, s.lastOutNext, len(s.pending))
+	tryDelta := !s.fullNext && wantDeltaLocked(&s.cfg, s.sinceFull, s.lastOutNext, len(s.pending))
+	s.fullNext = false
 	outSince := s.lastOutNext
 	s.mu.Unlock()
+	if tryDelta && s.cfg.RebaseAdaptive && s.ship.rebaseDue() {
+		tryDelta = false
+	}
 
 	start := s.cfg.Clock.Now()
 	var snap *subjob.Snapshot
@@ -299,6 +332,13 @@ func (s *Sweeping) onStoreAck(_ transport.NodeID, msg transport.Message) {
 	if ok {
 		s.cfg.Runtime.AckUpstream(positions)
 	}
+}
+
+// ForceFull implements Manager.
+func (s *Sweeping) ForceFull() {
+	s.mu.Lock()
+	s.fullNext = true
+	s.mu.Unlock()
 }
 
 // Taken returns how many checkpoints were initiated, for tests and

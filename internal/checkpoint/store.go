@@ -47,17 +47,18 @@ type Store struct {
 	backend     StoreBackend
 	diskLatency time.Duration
 
-	mu         sync.Mutex
-	latest     *subjob.Snapshot
-	seq        uint64
-	stored     int
-	fulls      int
-	deltaFolds int
-	deltaDrops int
-	lastUnits  int
-	work       chan storeReq
-	stop       chan struct{}
-	done       chan struct{}
+	mu           sync.Mutex
+	latest       *subjob.Snapshot
+	seq          uint64
+	stored       int
+	fulls        int
+	deltaFolds   int
+	deltaDrops   int
+	lastUnits    int
+	onChainBreak func()
+	work         chan storeReq
+	stop         chan struct{}
+	done         chan struct{}
 }
 
 type storeReq struct {
@@ -161,6 +162,7 @@ func (s *Store) store(batch []storeReq) {
 	}
 
 	s.mu.Lock()
+	dropsBefore := s.deltaDrops
 	if newFull != nil {
 		s.latest = newFull
 		chain = baseSeq
@@ -180,6 +182,8 @@ func (s *Store) store(batch []storeReq) {
 		chain = sd.seq
 		s.deltaFolds++
 	}
+	dropped := s.deltaDrops > dropsBefore
+	onChainBreak := s.onChainBreak
 	advanced := chain > s.seq
 	s.seq = chain
 	if advanced && s.latest != nil {
@@ -193,6 +197,10 @@ func (s *Store) store(batch []storeReq) {
 	}
 	s.stored += accepted
 	s.mu.Unlock()
+
+	if dropped && onChainBreak != nil {
+		onChainBreak()
+	}
 
 	for i := range batch {
 		if batch[i].msg.Seq > chain {
@@ -223,6 +231,16 @@ func (s *Store) Latest() (*subjob.Snapshot, bool) {
 		return nil, false
 	}
 	return s.latest.Clone(), true
+}
+
+// SetOnChainBreak installs a callback invoked (from the store goroutine)
+// whenever a delta is dropped because it did not extend the chain. The HA
+// lifecycle uses it to force the manager's next checkpoint full instead of
+// waiting for the pending-window heuristic.
+func (s *Store) SetOnChainBreak(fn func()) {
+	s.mu.Lock()
+	s.onChainBreak = fn
+	s.mu.Unlock()
 }
 
 // Stored returns the number of checkpoints accepted (acknowledged).

@@ -33,6 +33,7 @@ type Synchronous struct {
 	unitsTotal  int64
 	sinceFull   int
 	lastOutNext uint64
+	fullNext    bool
 	started     bool
 }
 
@@ -110,9 +111,13 @@ func (s *Synchronous) CheckpointNow() time.Duration {
 	defer s.capMu.Unlock()
 
 	s.mu.Lock()
-	tryDelta := wantDeltaLocked(&s.cfg, s.sinceFull, s.lastOutNext, len(s.pending))
+	tryDelta := !s.fullNext && wantDeltaLocked(&s.cfg, s.sinceFull, s.lastOutNext, len(s.pending))
+	s.fullNext = false
 	outSince := s.lastOutNext
 	s.mu.Unlock()
+	if tryDelta && s.cfg.RebaseAdaptive && s.ship.rebaseDue() {
+		tryDelta = false
+	}
 
 	start := s.cfg.Clock.Now()
 	var snap *subjob.Snapshot
@@ -185,6 +190,13 @@ func (s *Synchronous) onStoreAck(_ transport.NodeID, msg transport.Message) {
 	}
 }
 
+// ForceFull implements Manager.
+func (s *Synchronous) ForceFull() {
+	s.mu.Lock()
+	s.fullNext = true
+	s.mu.Unlock()
+}
+
 // Taken returns how many checkpoints were initiated.
 func (s *Synchronous) Taken() int {
 	s.mu.Lock()
@@ -246,6 +258,7 @@ type Individual struct {
 	unitsTotal  int64
 	sinceFull   int
 	lastOutNext uint64
+	fullNext    bool
 	started     bool
 }
 
@@ -342,10 +355,14 @@ func (ind *Individual) checkpointPE(i int) time.Duration {
 	last := i == len(rt.PEs())-1
 
 	ind.mu.Lock()
-	tryDelta := wantDeltaLocked(&ind.cfg, ind.sinceFull, ind.lastOutNext, len(ind.pending))
+	tryDelta := !ind.fullNext && wantDeltaLocked(&ind.cfg, ind.sinceFull, ind.lastOutNext, len(ind.pending))
+	ind.fullNext = false
 	outSince := ind.lastOutNext
 	ind.mu.Unlock()
-	incremental := ind.cfg.RebaseEvery >= 2
+	if tryDelta && ind.cfg.RebaseAdaptive && ind.ship.rebaseDue() {
+		tryDelta = false
+	}
+	incremental := ind.cfg.RebaseEvery >= 2 || ind.cfg.RebaseAdaptive
 
 	start := ind.cfg.Clock.Now()
 	var snap *subjob.Snapshot
@@ -453,6 +470,13 @@ func (ind *Individual) onStoreAck(_ transport.NodeID, msg transport.Message) {
 	if ok {
 		ind.cfg.Runtime.AckUpstream(positions)
 	}
+}
+
+// ForceFull implements Manager.
+func (ind *Individual) ForceFull() {
+	ind.mu.Lock()
+	ind.fullNext = true
+	ind.mu.Unlock()
 }
 
 // Taken returns how many per-PE checkpoints were initiated.

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"time"
+
+	"streamha/internal/checkpoint"
+	"streamha/internal/queue"
+	"streamha/internal/transport"
+)
+
+// Target identifies one consumer of a subjob's output stream: a downstream
+// copy's (or the sink's) node and data-stream name. Active reports whether
+// that consumer should currently receive published data (false for a
+// suspended hybrid standby, whose subscription is an early connection).
+type Target struct {
+	Node   transport.NodeID
+	Stream string
+	Active bool
+}
+
+// Wiring tells a lifecycle how its subjob connects to the rest of the
+// job. Both sides are functions because neighboring subjobs may migrate:
+// they are re-evaluated whenever the lifecycle rewires.
+type Wiring struct {
+	// UpstreamOutputs returns the output queues currently producing this
+	// subjob's input streams (every live copy of each upstream producer,
+	// including the source).
+	UpstreamOutputs func() []*queue.Output
+	// DownstreamTargets returns the consumer copies of this subjob's output.
+	DownstreamTargets func() []Target
+}
+
+// Options tunes the hybrid method. The zero value selects the paper's full
+// design at the experiments' one-tenth timescale.
+type Options struct {
+	// HeartbeatInterval is the detector's ping period (default 20 ms,
+	// standing in for the paper's 100 ms).
+	HeartbeatInterval time.Duration
+	// MissThreshold triggers switchover; the hybrid method acts on the
+	// first miss (default 1).
+	MissThreshold int
+	// RecoverThreshold is how many replies after a failure declare the
+	// primary responsive again (default 1).
+	RecoverThreshold int
+	// CheckpointInterval drives the primary's sweeping checkpoint manager
+	// (default 10 ms, standing in for the paper's 50 ms).
+	CheckpointInterval time.Duration
+	// CheckpointCosts models checkpoint CPU cost.
+	CheckpointCosts checkpoint.Costs
+	// CheckpointRebaseEvery enables incremental checkpointing when ≥ 2: up
+	// to RebaseEvery-1 delta checkpoints ship between full snapshots. 0
+	// keeps the classic full-snapshot-every-sweep protocol.
+	CheckpointRebaseEvery int
+	// CheckpointRebaseAdaptive enables the byte-budget rebase policy:
+	// deltas ship until their cumulative size exceeds the last full
+	// snapshot, then the manager rebases. CheckpointRebaseEvery remains a
+	// manual cadence cap when both are set.
+	CheckpointRebaseAdaptive bool
+	// CheckpointMaxInFlight bounds captured-but-unshipped checkpoints
+	// (default 2; see checkpoint.Config).
+	CheckpointMaxInFlight int
+	// AckInterval is the standby's acknowledgment period while active
+	// (default: CheckpointInterval).
+	AckInterval time.Duration
+	// ResumeCost is the CPU work to resume the pre-deployed copy (the
+	// paper measures resume at about a quarter of a full redeployment).
+	ResumeCost time.Duration
+	// DeployCost is the CPU work to deploy a copy on demand; paid at
+	// switchover only under NoPreDeploy (default 20 ms, standing in for
+	// the paper's ~200 ms redeployment).
+	DeployCost time.Duration
+	// ConnectCost is the CPU work per connection established on demand;
+	// paid at switchover only under NoEarlyConnection.
+	ConnectCost time.Duration
+	// FailStopAfter promotes the standby to primary if the failure
+	// persists this long after switchover; zero disables promotion.
+	FailStopAfter time.Duration
+
+	// Ablation switches (Section IV-B optimizations; all false = full
+	// hybrid):
+	//
+	// NoPreDeploy deploys the secondary on demand at switchover instead of
+	// pre-deploying it suspended; checkpoints then go to a passive store.
+	NoPreDeploy bool
+	// NoEarlyConnection creates upstream/downstream connections at
+	// switchover instead of in advance.
+	NoEarlyConnection bool
+	// NoReadState skips the read-state step on rollback: the primary
+	// resumes from its own (stale) state and reprocesses its backlog.
+	NoReadState bool
+	// DiskStore persists checkpoints through a simulated disk instead of
+	// refreshing memory (only meaningful with NoPreDeploy or for ablation
+	// of the in-memory refresh; adds write latency to every checkpoint).
+	DiskStore bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 20 * time.Millisecond
+	}
+	if o.MissThreshold <= 0 {
+		o.MissThreshold = 1
+	}
+	if o.RecoverThreshold <= 0 {
+		o.RecoverThreshold = 1
+	}
+	if o.CheckpointInterval <= 0 {
+		o.CheckpointInterval = 10 * time.Millisecond
+	}
+	if o.AckInterval <= 0 {
+		o.AckInterval = o.CheckpointInterval
+	}
+	if o.ResumeCost <= 0 {
+		o.ResumeCost = 5 * time.Millisecond
+	}
+	if o.DeployCost <= 0 {
+		o.DeployCost = 20 * time.Millisecond
+	}
+	if o.ConnectCost <= 0 {
+		o.ConnectCost = 2 * time.Millisecond
+	}
+	return o
+}
+
+// PassiveOptions tunes conventional passive standby.
+type PassiveOptions struct {
+	// HeartbeatInterval is the detector's ping period (default 20 ms).
+	HeartbeatInterval time.Duration
+	// MissThreshold is the consecutive misses before migration; the
+	// conventional value is 3.
+	MissThreshold int
+	// CheckpointInterval drives the sweeping checkpoint manager
+	// (default 10 ms).
+	CheckpointInterval time.Duration
+	// CheckpointCosts models checkpoint CPU cost.
+	CheckpointCosts checkpoint.Costs
+	// CheckpointRebaseEvery enables incremental checkpointing when ≥ 2 (see
+	// checkpoint.Config.RebaseEvery); 0 ships a full snapshot every sweep.
+	CheckpointRebaseEvery int
+	// CheckpointRebaseAdaptive enables the byte-budget rebase policy (see
+	// Options.CheckpointRebaseAdaptive).
+	CheckpointRebaseAdaptive bool
+	// DeployCost is the CPU work of deploying the recovery copy on demand
+	// (default 20 ms, standing in for the paper's ~200 ms redeployment).
+	DeployCost time.Duration
+	// ConnectCost is the CPU work per connection established during
+	// recovery (default 2 ms).
+	ConnectCost time.Duration
+	// StoreBackend selects the checkpoint store; conventional passive
+	// standby persists to (simulated) disk.
+	StoreBackend checkpoint.StoreBackend
+}
+
+func (o PassiveOptions) withDefaults() PassiveOptions {
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 20 * time.Millisecond
+	}
+	if o.MissThreshold <= 0 {
+		o.MissThreshold = 3
+	}
+	if o.CheckpointInterval <= 0 {
+		o.CheckpointInterval = 10 * time.Millisecond
+	}
+	if o.DeployCost <= 0 {
+		o.DeployCost = 20 * time.Millisecond
+	}
+	if o.ConnectCost <= 0 {
+		o.ConnectCost = 2 * time.Millisecond
+	}
+	return o
+}
+
+// SwitchEvent records one switchover: from the detector's declaration to
+// the standby running and connected.
+type SwitchEvent struct {
+	DetectedAt time.Time
+	ReadyAt    time.Time
+}
+
+// MigrationEvent records one passive-standby recovery: detection to the
+// recovered copy running and connected on the (former) secondary machine.
+// It carries the same timestamps as a switchover.
+type MigrationEvent = SwitchEvent
+
+// RollbackEvent records one rollback: from the recovery declaration to the
+// primary holding the adopted state (or having declined it).
+type RollbackEvent struct {
+	StartedAt time.Time
+	DoneAt    time.Time
+	// StateUnits is the size of the state read back, in element units.
+	StateUnits int
+	// Adopted reports whether the primary adopted the standby's state; it
+	// declines when its own progress was ahead (a false-alarm switchover).
+	Adopted bool
+}
+
+// PromoteEvent records a fail-stop promotion of the standby to primary.
+type PromoteEvent struct {
+	At time.Time
+}

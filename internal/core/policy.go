@@ -1,0 +1,139 @@
+package core
+
+import (
+	"time"
+
+	"streamha/internal/checkpoint"
+	"streamha/internal/subjob"
+)
+
+// defaultAckInterval paces the ackers of copies that acknowledge on
+// processing (NONE and active standby) when the deployer does not supply
+// an interval.
+const defaultAckInterval = 10 * time.Millisecond
+
+// NonePolicy is the no-protection mode: a single copy acknowledges its
+// upstream on processing and failures are endured. The lifecycle stays
+// Unprotected and every detector-style event is a no-op.
+type NonePolicy struct {
+	ackInterval time.Duration
+}
+
+// NewNonePolicy creates the NONE policy; ackInterval ≤ 0 selects the
+// default.
+func NewNonePolicy(ackInterval time.Duration) *NonePolicy {
+	if ackInterval <= 0 {
+		ackInterval = defaultAckInterval
+	}
+	return &NonePolicy{ackInterval: ackInterval}
+}
+
+// Mode implements StandbyPolicy.
+func (np *NonePolicy) Mode() string { return "none" }
+
+// InitialState implements StandbyPolicy.
+func (np *NonePolicy) InitialState() State { return Unprotected }
+
+// PreDeploy implements StandbyPolicy.
+func (np *NonePolicy) PreDeploy() (bool, bool) { return false, false }
+
+// NeedsStandbyMachine implements StandbyPolicy.
+func (np *NonePolicy) NeedsStandbyMachine() bool { return false }
+
+// PromoteAfter implements StandbyPolicy.
+func (np *NonePolicy) PromoteAfter() time.Duration { return 0 }
+
+// Arm implements StandbyPolicy: just the primary's acker.
+func (np *NonePolicy) Arm(lc *Lifecycle) error {
+	acker := checkpoint.NewAcker(lc.PrimaryRuntime(), lc.clk, np.ackInterval)
+	lc.mu.Lock()
+	lc.ackers = append(lc.ackers, acker)
+	lc.mu.Unlock()
+	acker.Start()
+	return nil
+}
+
+// Failover implements StandbyPolicy; never selected by the table.
+func (np *NonePolicy) Failover(lc *Lifecycle, _ time.Time) State { return lc.State() }
+
+// Restore implements StandbyPolicy; never selected by the table.
+func (np *NonePolicy) Restore(lc *Lifecycle, _ time.Time) State { return lc.State() }
+
+// Promote implements StandbyPolicy; never selected by the table.
+func (np *NonePolicy) Promote(lc *Lifecycle, _ time.Time) State { return lc.State() }
+
+// ActivePolicy is conventional active standby: a second copy processes
+// the full stream concurrently (roughly four times the traffic), so
+// recovery is instant and no detector runs — the lifecycle is permanently
+// Protected by redundancy.
+type ActivePolicy struct {
+	ackInterval time.Duration
+}
+
+// NewActivePolicy creates the active-standby policy; ackInterval ≤ 0
+// selects the default.
+func NewActivePolicy(ackInterval time.Duration) *ActivePolicy {
+	if ackInterval <= 0 {
+		ackInterval = defaultAckInterval
+	}
+	return &ActivePolicy{ackInterval: ackInterval}
+}
+
+// Mode implements StandbyPolicy.
+func (ap *ActivePolicy) Mode() string { return "active" }
+
+// InitialState implements StandbyPolicy.
+func (ap *ActivePolicy) InitialState() State { return Protected }
+
+// PreDeploy implements StandbyPolicy: the twin exists up front and runs.
+func (ap *ActivePolicy) PreDeploy() (bool, bool) { return true, false }
+
+// NeedsStandbyMachine implements StandbyPolicy.
+func (ap *ActivePolicy) NeedsStandbyMachine() bool { return true }
+
+// PromoteAfter implements StandbyPolicy.
+func (ap *ActivePolicy) PromoteAfter() time.Duration { return 0 }
+
+// Arm implements StandbyPolicy: create the twin if the deployer did not,
+// subscribe it actively on both sides, and run ackers on both copies. No
+// detector is started — active standby needs none, and starting one would
+// add heartbeat traffic the paper's Figure 6 comparison excludes.
+func (ap *ActivePolicy) Arm(lc *Lifecycle) error {
+	lc.mu.Lock()
+	pri, sec, secM := lc.primary, lc.secondary, lc.secondaryM
+	lc.mu.Unlock()
+	if sec == nil {
+		var err error
+		sec, err = subjob.New(lc.cfg.Spec, secM, false)
+		if err != nil {
+			return err
+		}
+		sec.Start()
+		for _, up := range lc.cfg.Wiring.UpstreamOutputs() {
+			up.Subscribe(sec.Node(), subjob.DataStream(sec.Spec().ID, up.StreamID), true)
+		}
+		for _, t := range lc.cfg.Wiring.DownstreamTargets() {
+			sec.Out().Subscribe(t.Node, t.Stream, t.Active)
+		}
+		lc.mu.Lock()
+		lc.secondary = sec
+		lc.mu.Unlock()
+	}
+	priAcker := checkpoint.NewAcker(pri, lc.clk, ap.ackInterval)
+	secAcker := checkpoint.NewAcker(sec, lc.clk, ap.ackInterval)
+	lc.mu.Lock()
+	lc.ackers = append(lc.ackers, priAcker, secAcker)
+	lc.mu.Unlock()
+	priAcker.Start()
+	secAcker.Start()
+	return nil
+}
+
+// Failover implements StandbyPolicy; never selected by the table.
+func (ap *ActivePolicy) Failover(lc *Lifecycle, _ time.Time) State { return lc.State() }
+
+// Restore implements StandbyPolicy; never selected by the table.
+func (ap *ActivePolicy) Restore(lc *Lifecycle, _ time.Time) State { return lc.State() }
+
+// Promote implements StandbyPolicy; never selected by the table.
+func (ap *ActivePolicy) Promote(lc *Lifecycle, _ time.Time) State { return lc.State() }

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"time"
+
+	"streamha/internal/checkpoint"
+	"streamha/internal/subjob"
+	"streamha/internal/transport"
+)
+
+// HybridPolicy is the paper's contribution (Section IV): a pre-deployed
+// suspended secondary refreshed in memory, switchover on the first missed
+// heartbeat, read-state-on-rollback when the primary returns, and
+// fail-stop promotion (with spare re-protection) when the failure
+// persists. The ablation switches in Options select the degraded variants
+// Section IV-B measures.
+type HybridPolicy struct {
+	opts Options
+}
+
+// NewHybridPolicy creates the hybrid policy with o (zero value = the
+// paper's full design).
+func NewHybridPolicy(o Options) *HybridPolicy {
+	return &HybridPolicy{opts: o.withDefaults()}
+}
+
+// Options returns the policy's resolved options.
+func (hp *HybridPolicy) Options() Options { return hp.opts }
+
+// Mode implements StandbyPolicy.
+func (hp *HybridPolicy) Mode() string { return "hybrid" }
+
+// InitialState implements StandbyPolicy.
+func (hp *HybridPolicy) InitialState() State { return Protected }
+
+// PreDeploy implements StandbyPolicy: the standby exists up front and is
+// suspended, unless the NoPreDeploy ablation defers it to switchover.
+func (hp *HybridPolicy) PreDeploy() (bool, bool) { return !hp.opts.NoPreDeploy, true }
+
+// NeedsStandbyMachine implements StandbyPolicy.
+func (hp *HybridPolicy) NeedsStandbyMachine() bool { return true }
+
+// PromoteAfter implements StandbyPolicy.
+func (hp *HybridPolicy) PromoteAfter() time.Duration { return hp.opts.FailStopAfter }
+
+// Arm implements StandbyPolicy: deploy the standby side (pre-deployed and
+// early-connected unless ablated), start the sweeping checkpoint manager
+// on the primary and the heartbeat detector on the standby machine.
+func (hp *HybridPolicy) Arm(lc *Lifecycle) error {
+	spec := lc.cfg.Spec
+	secM := lc.cfg.SecondaryMachine
+
+	if !hp.opts.NoPreDeploy {
+		sec := lc.cfg.Secondary
+		if sec == nil {
+			var err error
+			sec, err = subjob.New(spec, secM, true)
+			if err != nil {
+				return err
+			}
+			sec.Start()
+			if !hp.opts.NoEarlyConnection {
+				lc.connectStandby(sec)
+			}
+		}
+		// Pre-deployment pays the deployment cost up front, off the
+		// critical path.
+		secM.CPU().Execute(hp.opts.DeployCost)
+		acker := checkpoint.NewAcker(sec, lc.clk, hp.opts.AckInterval)
+		lc.mu.Lock()
+		lc.secondary = sec
+		lc.standby = NewStandbyStore(sec)
+		lc.ackers = append(lc.ackers, acker)
+		lc.mu.Unlock()
+		acker.Start()
+	} else {
+		backend := checkpoint.InMemory
+		if hp.opts.DiskStore {
+			backend = checkpoint.SimulatedDisk
+		}
+		lc.mu.Lock()
+		lc.store = checkpoint.NewStore(secM, spec.ID, backend, 0)
+		lc.mu.Unlock()
+	}
+
+	cm := checkpoint.NewSweeping(checkpoint.Config{
+		Runtime:        lc.PrimaryRuntime(),
+		Clock:          lc.clk,
+		Interval:       hp.opts.CheckpointInterval,
+		StoreNode:      secM.ID(),
+		Costs:          hp.opts.CheckpointCosts,
+		RebaseEvery:    hp.opts.CheckpointRebaseEvery,
+		RebaseAdaptive: hp.opts.CheckpointRebaseAdaptive,
+		MaxInFlight:    hp.opts.CheckpointMaxInFlight,
+	})
+	lc.mu.Lock()
+	lc.cm = cm
+	lc.mu.Unlock()
+	cm.Start()
+	lc.watchChainBreaks()
+
+	lc.registerReadStateAck(lc.PrimaryRuntime().Machine())
+	lc.startDetector(secM, lc.PrimaryRuntime().Machine().ID(), spec.ID,
+		hp.opts.HeartbeatInterval, hp.opts.MissThreshold, hp.opts.RecoverThreshold)
+	return nil
+}
+
+// Failover implements StandbyPolicy: the switchover of Section IV-B.
+// Resume the pre-deployed copy (or deploy one from the store under
+// NoPreDeploy), flip the early connections active — which retransmits
+// unacknowledged upstream data — and retransmit the standby's own
+// unacknowledged outputs.
+func (hp *HybridPolicy) Failover(lc *Lifecycle, detectedAt time.Time) State {
+	sec := lc.SecondaryRuntime()
+	secM := lc.StandbyMachine()
+
+	if hp.opts.NoPreDeploy {
+		// Ablation: deploy the standby from the stored checkpoint on demand,
+		// paying the full deployment cost on the critical path.
+		secM.CPU().Execute(hp.opts.DeployCost)
+		rt, err := subjob.New(lc.cfg.Spec, secM, true)
+		if err != nil {
+			return Protected
+		}
+		if snap, ok := lc.Store().Latest(); ok {
+			if err := rt.Restore(snap); err != nil {
+				return Protected
+			}
+		}
+		rt.Start()
+		lc.mu.Lock()
+		lc.secondary = rt
+		lc.mu.Unlock()
+		sec = rt
+	}
+
+	// Resuming the suspended copy is just resetting the processing-loop
+	// flags, about a quarter of a deployment.
+	secM.CPU().Execute(hp.opts.ResumeCost)
+	sec.Resume()
+
+	ups := lc.cfg.Wiring.UpstreamOutputs()
+	if hp.opts.NoEarlyConnection || hp.opts.NoPreDeploy {
+		// Ablation: establish connections now, paying per-connection cost.
+		downs := lc.cfg.Wiring.DownstreamTargets()
+		secM.CPU().Execute(hp.opts.ConnectCost * time.Duration(len(ups)+len(downs)))
+		for _, up := range ups {
+			up.Subscribe(sec.Node(), subjob.DataStream(sec.Spec().ID, up.StreamID), false)
+		}
+		for _, t := range downs {
+			sec.Out().Subscribe(t.Node, t.Stream, t.Active)
+		}
+	}
+	for _, up := range ups {
+		// Activation retransmits everything the standby has not seen; its
+		// restart point is covered by the sweeping-checkpoint invariant.
+		up.Activate(sec.Node(), true)
+	}
+	sec.Out().RetransmitAll()
+
+	lc.recordSwitch(SwitchEvent{DetectedAt: detectedAt, ReadyAt: lc.clk.Now()})
+	return SwitchedOver
+}
+
+// Restore implements StandbyPolicy: the rollback once the primary is
+// responsive again. The standby is suspended, the primary reads the
+// standby's freshest state back ("read state on rollback") so it can jump
+// past the backlog it accumulated while stalled, and upstream connections
+// to the standby are deactivated.
+func (hp *HybridPolicy) Restore(lc *Lifecycle, at time.Time) State {
+	lc.transient(RollingBack)
+	sec := lc.SecondaryRuntime()
+	pri := lc.PrimaryRuntime()
+
+	snap := sec.SuspendAndSnapshot()
+	for _, up := range lc.cfg.Wiring.UpstreamOutputs() {
+		up.Activate(sec.Node(), false)
+	}
+
+	units := 0
+	adopted := false
+	if !hp.opts.NoReadState {
+		units = snap.ElementUnits()
+		// The state transfer is a real message so its size is accounted in
+		// the experiment's overhead figures (Figure 10).
+		if state, err := snap.Encode(); err == nil {
+			sec.Machine().Send(pri.Node(), transport.Message{
+				Kind:         transport.KindReadStateResp,
+				Stream:       subjob.ReadStateStream(lc.cfg.Spec.ID),
+				State:        state,
+				ElementCount: units,
+			})
+			select {
+			case <-lc.rsAckCh:
+			case <-lc.clk.After(5 * time.Second):
+			case <-lc.stop:
+				return RollingBack
+			}
+		}
+		pri.WithPaused(func() {
+			if positionsCover(snap.Consumed, pri.ConsumedPositions()) {
+				if err := pri.Restore(snap); err == nil {
+					adopted = true
+				}
+			}
+		})
+	}
+
+	if hp.opts.NoPreDeploy {
+		// Ablation: the on-demand copy is discarded; the next failure
+		// deploys a fresh one from the store.
+		sec.Stop()
+		lc.mu.Lock()
+		lc.secondary = nil
+		lc.mu.Unlock()
+	}
+
+	lc.recordRollback(RollbackEvent{
+		StartedAt:  at,
+		DoneAt:     lc.clk.Now(),
+		StateUnits: units,
+		Adopted:    adopted,
+	})
+	return Protected
+}
+
+// positionsCover reports whether the standby's positions are at or beyond
+// the primary's on every stream — the guard that prevents a rollback after
+// a false alarm from regressing a primary that was actually ahead.
+func positionsCover(standby, primary map[string]uint64) bool {
+	for s, v := range primary {
+		if standby[s] < v {
+			return false
+		}
+	}
+	return true
+}
+
+// Promote implements StandbyPolicy: the activated standby becomes the
+// permanent primary after the failure persisted past the fail-stop
+// threshold, and — when a spare machine is available — a new suspended
+// standby is instantiated there, re-protecting the subjob.
+func (hp *HybridPolicy) Promote(lc *Lifecycle, _ time.Time) State {
+	lc.transient(Promoted)
+	lc.mu.Lock()
+	oldPrimary := lc.primary
+	sec := lc.secondary
+	oldCM := lc.cm
+	oldDet := lc.det
+	oldAckers := lc.ackers
+	lc.ackers = nil
+	lc.mu.Unlock()
+
+	// The old primary is presumed dead. Tear its stack down without
+	// blocking the event loop (its machine may be unresponsive).
+	go func() {
+		if oldDet != nil {
+			oldDet.Stop()
+		}
+		if oldCM != nil {
+			oldCM.Stop()
+		}
+		oldPrimary.Stop()
+	}()
+
+	// Remove the dead primary from every upstream queue so it stops gating
+	// trims, and drop the read-state plumbing bound to its machine.
+	for _, up := range lc.cfg.Wiring.UpstreamOutputs() {
+		up.Unsubscribe(oldPrimary.Node())
+	}
+	oldPrimary.Machine().UnregisterStream(subjob.ReadStateStream(lc.cfg.Spec.ID))
+
+	lc.mu.Lock()
+	lc.primary = sec
+	lc.secondary = nil
+	lc.mu.Unlock()
+	lc.recordPromotion(PromoteEvent{At: lc.clk.Now()})
+
+	// The promoted copy must stop acking on processing: from here on its
+	// checkpoint manager acknowledges after checkpointing, as passive
+	// standby correctness requires.
+	for _, a := range oldAckers {
+		a.Stop()
+	}
+
+	spare := lc.cfg.SpareMachine
+	if spare == nil || spare == sec.Machine() || spare.Crashed() {
+		// No (live) spare: the subjob runs unprotected, like passive standby
+		// after exhausting its secondary.
+		return Unprotected
+	}
+
+	newSec, err := subjob.New(lc.cfg.Spec, spare, true)
+	if err != nil {
+		return Unprotected
+	}
+	spare.CPU().Execute(hp.opts.DeployCost)
+	newSec.Start()
+	lc.connectStandby(newSec)
+
+	lc.mu.Lock()
+	lc.secondary = newSec
+	lc.secondaryM = spare
+	standby := lc.standby
+	lc.mu.Unlock()
+	if standby != nil {
+		standby.Retarget(newSec)
+	} else {
+		lc.mu.Lock()
+		lc.standby = NewStandbyStore(newSec)
+		lc.mu.Unlock()
+	}
+
+	newCM := checkpoint.NewSweeping(checkpoint.Config{
+		Runtime:        sec,
+		Clock:          lc.clk,
+		Interval:       hp.opts.CheckpointInterval,
+		StoreNode:      spare.ID(),
+		Costs:          hp.opts.CheckpointCosts,
+		RebaseEvery:    hp.opts.CheckpointRebaseEvery,
+		RebaseAdaptive: hp.opts.CheckpointRebaseAdaptive,
+		MaxInFlight:    hp.opts.CheckpointMaxInFlight,
+	})
+	newAcker := checkpoint.NewAcker(newSec, lc.clk, hp.opts.AckInterval)
+	lc.mu.Lock()
+	lc.cm = newCM
+	lc.ackers = []*checkpoint.Acker{newAcker}
+	lc.mu.Unlock()
+	newCM.Start()
+	newAcker.Start()
+	lc.watchChainBreaks()
+
+	// Re-armed: a new detector on the spare machine watches the promoted
+	// primary, so the subjob survives the next failure too.
+	lc.registerReadStateAck(sec.Machine())
+	lc.startDetector(spare, sec.Machine().ID(), lc.cfg.Spec.ID,
+		hp.opts.HeartbeatInterval, hp.opts.MissThreshold, hp.opts.RecoverThreshold)
+	return Protected
+}

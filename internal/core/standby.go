@@ -36,14 +36,15 @@ type StandbyStore struct {
 	mu sync.Mutex
 	rt *subjob.Runtime
 
-	applied    int
-	skipped    int
-	deltaDrops int
-	chain      uint64
-	chainOK    bool
-	work       chan storeReq
-	stop       chan struct{}
-	done       chan struct{}
+	applied      int
+	skipped      int
+	deltaDrops   int
+	chain        uint64
+	chainOK      bool
+	onChainBreak func()
+	work         chan storeReq
+	stop         chan struct{}
+	done         chan struct{}
 }
 
 type storeReq struct {
@@ -124,7 +125,11 @@ func (s *StandbyStore) apply(req storeReq) {
 		// manager re-bases with a full snapshot.
 		s.mu.Lock()
 		s.deltaDrops++
+		onChainBreak := s.onChainBreak
 		s.mu.Unlock()
+		if onChainBreak != nil {
+			onChainBreak()
+		}
 		return
 	}
 
@@ -164,6 +169,15 @@ func (s *StandbyStore) apply(req storeReq) {
 		Command: "ckpt-stored",
 		Seq:     req.msg.Seq,
 	})
+}
+
+// SetOnChainBreak installs a callback invoked (from the store goroutine)
+// whenever a delta is dropped because it did not extend the standby's
+// chain; the lifecycle uses it to force an immediate rebase.
+func (s *StandbyStore) SetOnChainBreak(fn func()) {
+	s.mu.Lock()
+	s.onChainBreak = fn
+	s.mu.Unlock()
 }
 
 // Applied returns how many checkpoints refreshed the standby in memory.

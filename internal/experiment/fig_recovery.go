@@ -85,39 +85,25 @@ func runOneRecovery(p Params, mode ha.Mode, hybrid core.Options, ps ha.PSOptions
 	time.Sleep(400 * time.Millisecond) // settle
 	tb.cl.Network().SetObserver(nil)
 
+	if mode != ha.ModePassive && mode != ha.ModeHybrid {
+		return metrics.Recovery{}, fmt.Errorf("experiment: recovery decomposition needs PS or Hybrid, got %s", mode)
+	}
 	g := tb.pipe.Group(protected)
 	rec := metrics.Recovery{FailureAt: spike.Start}
-	// Select the first recovery event belonging to this spike: startup
-	// noise can produce an earlier false-alarm event.
-	switch mode {
-	case ha.ModePassive:
-		found := false
-		for _, m := range g.PS.Migrations() {
-			if !m.DetectedAt.Before(spike.Start) {
-				rec.DetectedAt = m.DetectedAt
-				rec.ReadyAt = m.ReadyAt
-				found = true
-				break
-			}
+	// Select the first failover event (migration for PS, switchover for
+	// Hybrid) belonging to this spike: startup noise can produce an earlier
+	// false-alarm event.
+	found := false
+	for _, sw := range g.HA.Failovers() {
+		if !sw.DetectedAt.Before(spike.Start) {
+			rec.DetectedAt = sw.DetectedAt
+			rec.ReadyAt = sw.ReadyAt
+			found = true
+			break
 		}
-		if !found {
-			return rec, fmt.Errorf("experiment: PS did not migrate within the outage")
-		}
-	case ha.ModeHybrid:
-		found := false
-		for _, sw := range g.Hybrid.Switches() {
-			if !sw.DetectedAt.Before(spike.Start) {
-				rec.DetectedAt = sw.DetectedAt
-				rec.ReadyAt = sw.ReadyAt
-				found = true
-				break
-			}
-		}
-		if !found {
-			return rec, fmt.Errorf("experiment: hybrid did not switch within the outage")
-		}
-	default:
-		return rec, fmt.Errorf("experiment: recovery decomposition needs PS or Hybrid, got %s", mode)
+	}
+	if !found {
+		return rec, fmt.Errorf("experiment: %s did not fail over within the outage", mode)
 	}
 	first, ok := log.firstAfter(rec.ReadyAt)
 	if !ok {

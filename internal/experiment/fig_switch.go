@@ -101,14 +101,14 @@ func RunFig09And10(p Params, rates []float64, outages []time.Duration, repeats i
 				var swDur, rbDur time.Duration
 				var rsUnits int64
 				found := false
-				for _, sw := range g.Hybrid.Switches() {
+				for _, sw := range g.HA.Switches() {
 					if !sw.DetectedAt.Before(spike.Start) {
 						swDur = sw.ReadyAt.Sub(sw.DetectedAt)
 						found = true
 						break
 					}
 				}
-				for _, rb := range g.Hybrid.Rollbacks() {
+				for _, rb := range g.HA.Rollbacks() {
 					if !rb.StartedAt.Before(spike.Start) {
 						rbDur = rb.DoneAt.Sub(rb.StartedAt)
 						rsUnits = int64(rb.StateUnits)

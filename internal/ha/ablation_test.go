@@ -59,10 +59,10 @@ func stallAndRecover(t *testing.T, opts core.Options) (*cluster.Cluster, *ha.Pip
 func requireRecovered(t *testing.T, p *ha.Pipeline) {
 	t.Helper()
 	g := p.Group(0)
-	if len(g.Hybrid.Switches()) == 0 {
+	if len(g.HA.Switches()) == 0 {
 		t.Fatal("no switchover")
 	}
-	if len(g.Hybrid.Rollbacks()) == 0 {
+	if len(g.HA.Rollbacks()) == 0 {
 		t.Fatal("no rollback")
 	}
 	verifyExactlyOnce(t, p, 500)
@@ -72,7 +72,7 @@ func TestHybridAblationNoPreDeploy(t *testing.T) {
 	_, p := stallAndRecover(t, core.Options{NoPreDeploy: true})
 	requireRecovered(t, p)
 	// After rollback the on-demand copy is discarded: no standby runtime.
-	if sec := p.Group(0).Hybrid.SecondaryRuntime(); sec != nil {
+	if sec := p.Group(0).HA.SecondaryRuntime(); sec != nil {
 		t.Fatalf("on-demand copy not discarded after rollback: %v", sec.Node())
 	}
 }
@@ -85,10 +85,10 @@ func TestHybridAblationNoEarlyConnection(t *testing.T) {
 func TestHybridAblationNoReadState(t *testing.T) {
 	_, p := stallAndRecover(t, core.Options{NoReadState: true})
 	g := p.Group(0)
-	if len(g.Hybrid.Switches()) == 0 || len(g.Hybrid.Rollbacks()) == 0 {
+	if len(g.HA.Switches()) == 0 || len(g.HA.Rollbacks()) == 0 {
 		t.Fatal("no switchover/rollback")
 	}
-	for _, rb := range g.Hybrid.Rollbacks() {
+	for _, rb := range g.HA.Rollbacks() {
 		if rb.Adopted || rb.StateUnits != 0 {
 			t.Fatalf("read-state happened despite ablation: %+v", rb)
 		}
@@ -111,7 +111,7 @@ func TestHybridAblationDiskStore(t *testing.T) {
 func TestHybridSwitchoverDurationBoundedAcrossTriggers(t *testing.T) {
 	switchDur := func(opts core.Options) time.Duration {
 		_, p := stallAndRecover(t, opts)
-		sw := p.Group(0).Hybrid.Switches()
+		sw := p.Group(0).HA.Switches()
 		if len(sw) == 0 {
 			t.Fatal("no switchover")
 		}
@@ -134,7 +134,7 @@ func TestHybridRollbackAdoptsFresherStandbyState(t *testing.T) {
 	cl, p := stallAndRecover(t, core.Options{})
 	g := p.Group(0)
 	hasAdopted := func() bool {
-		for _, rb := range g.Hybrid.Rollbacks() {
+		for _, rb := range g.HA.Rollbacks() {
 			if rb.Adopted {
 				if rb.StateUnits == 0 {
 					t.Fatal("adopted rollback carried no state")
@@ -151,7 +151,7 @@ func TestHybridRollbackAdoptsFresherStandbyState(t *testing.T) {
 		time.Sleep(500 * time.Millisecond)
 	}
 	if !hasAdopted() {
-		t.Fatalf("no rollback adopted the standby state after repeated stalls: %+v", g.Hybrid.Rollbacks())
+		t.Fatalf("no rollback adopted the standby state after repeated stalls: %+v", g.HA.Rollbacks())
 	}
 }
 
@@ -189,13 +189,13 @@ func TestHybridPromotionWithoutSpareLeavesUnprotected(t *testing.T) {
 	time.Sleep(300 * time.Millisecond)
 
 	g := p.Group(0)
-	if len(g.Hybrid.Promotions()) == 0 {
+	if len(g.HA.Promotions()) == 0 {
 		t.Fatal("no promotion")
 	}
-	if got := g.Hybrid.PrimaryRuntime().Node(); string(got) != "s1" {
+	if got := g.HA.PrimaryRuntime().Node(); string(got) != "s1" {
 		t.Fatalf("primary on %s", got)
 	}
-	if g.Hybrid.SecondaryRuntime() != nil {
+	if g.HA.SecondaryRuntime() != nil {
 		t.Fatal("spare-less promotion still produced a standby")
 	}
 	verifyExactlyOnce(t, p, 200)
@@ -236,7 +236,7 @@ func TestHybridControllerStandaloneCreatesOwnStandby(t *testing.T) {
 	sink.Start()
 	defer sink.Stop()
 
-	ctl := core.NewController(core.ControllerConfig{
+	ctl := core.NewLifecycle(core.LifecycleConfig{
 		Spec:             spec,
 		Clock:            clk,
 		Primary:          pri,
@@ -247,6 +247,7 @@ func TestHybridControllerStandaloneCreatesOwnStandby(t *testing.T) {
 				return []core.Target{{Node: "m-sink", Stream: subjob.DataStream("solo/sink", "s1"), Active: true}}
 			},
 		},
+		Policy: core.NewHybridPolicy(core.Options{}),
 	})
 	if err := ctl.Start(); err != nil {
 		t.Fatal(err)

@@ -2,10 +2,18 @@
 // evaluates — NONE, active standby, passive standby and hybrid — and the
 // pipeline builder that deploys a chain job across cluster machines with a
 // per-subjob mode choice (Section V-A: each subjob in the same job can use
-// a different HA mode).
+// a different HA mode). Every mode is a core.StandbyPolicy plugged into
+// the shared core.Lifecycle state machine; this package only picks the
+// policy and wires the job.
 package ha
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"streamha/internal/core"
+)
 
 // Mode selects a subjob's high-availability scheme.
 type Mode int
@@ -26,26 +34,67 @@ const (
 	ModeHybrid
 )
 
-var modeNames = map[Mode]string{
-	ModeNone:    "none",
-	ModeActive:  "active",
-	ModePassive: "passive",
-	ModeHybrid:  "hybrid",
+// allModes fixes the canonical ordering, so String, ParseMode and Modes
+// are deterministic.
+var allModes = [...]struct {
+	mode Mode
+	name string
+}{
+	{ModeNone, "none"},
+	{ModeActive, "active"},
+	{ModePassive, "passive"},
+	{ModeHybrid, "hybrid"},
 }
 
 func (m Mode) String() string {
-	if s, ok := modeNames[m]; ok {
-		return s
+	for _, e := range allModes {
+		if e.mode == m {
+			return e.name
+		}
 	}
 	return fmt.Sprintf("mode(%d)", int(m))
 }
 
-// ParseMode converts a mode name to a Mode.
+// Modes returns the valid mode names in canonical order, for CLI flag
+// validation and help text.
+func Modes() []string {
+	names := make([]string, len(allModes))
+	for i, e := range allModes {
+		names[i] = e.name
+	}
+	return names
+}
+
+// ParseMode converts a mode name to a Mode. The error for an unknown name
+// lists the valid names, deterministically ordered.
 func ParseMode(s string) (Mode, error) {
-	for m, name := range modeNames {
-		if name == s {
-			return m, nil
+	for _, e := range allModes {
+		if e.name == s {
+			return e.mode, nil
 		}
 	}
-	return ModeNone, fmt.Errorf("ha: unknown mode %q", s)
+	return ModeNone, fmt.Errorf("ha: unknown mode %q (valid: %s)", s, strings.Join(Modes(), ", "))
+}
+
+// PSOptions tunes conventional passive standby. It is an alias of the
+// core package's options type; the policy itself lives in core.
+type PSOptions = core.PassiveOptions
+
+// MigrationEvent records one passive-standby recovery (alias of the core
+// event type).
+type MigrationEvent = core.MigrationEvent
+
+// policyFor maps a subjob's Mode to its StandbyPolicy — the one residual
+// mode dispatch in the package; everything downstream of it is uniform.
+func policyFor(m Mode, hybrid core.Options, ps PSOptions, ackInterval time.Duration) core.StandbyPolicy {
+	switch m {
+	case ModeActive:
+		return core.NewActivePolicy(ackInterval)
+	case ModePassive:
+		return core.NewPassivePolicy(ps)
+	case ModeHybrid:
+		return core.NewHybridPolicy(hybrid)
+	default:
+		return core.NewNonePolicy(ackInterval)
+	}
 }

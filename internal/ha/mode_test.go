@@ -1,6 +1,11 @@
 package ha
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	"streamha/internal/core"
+)
 
 func TestModeString(t *testing.T) {
 	cases := map[Mode]string{
@@ -29,17 +34,58 @@ func TestParseMode(t *testing.T) {
 			t.Fatalf("round trip %q -> %v", name, m)
 		}
 	}
-	if _, err := ParseMode("bogus"); err == nil {
+}
+
+func TestParseModeErrorListsValidNames(t *testing.T) {
+	_, err := ParseMode("bogus")
+	if err == nil {
 		t.Fatal("want error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"bogus"`) {
+		t.Fatalf("error does not name the bad input: %q", msg)
+	}
+	for _, name := range Modes() {
+		if !strings.Contains(msg, name) {
+			t.Fatalf("error does not list mode %q: %q", name, msg)
+		}
+	}
+	// Deterministic: two parses of different bad inputs order the list the
+	// same way.
+	_, err2 := ParseMode("also-bogus")
+	tail := func(s string) string {
+		if i := strings.Index(s, "valid:"); i >= 0 {
+			return s[i:]
+		}
+		return s
+	}
+	if tail(err.Error()) != tail(err2.Error()) {
+		t.Fatalf("valid-name list not deterministic: %q vs %q", err.Error(), err2.Error())
 	}
 }
 
-func TestPSOptionsDefaults(t *testing.T) {
-	o := PSOptions{}.withDefaults()
-	if o.MissThreshold != 3 {
-		t.Fatalf("conventional PS threshold %d, want 3", o.MissThreshold)
+func TestModesOrder(t *testing.T) {
+	want := []string{"none", "active", "passive", "hybrid"}
+	got := Modes()
+	if len(got) != len(want) {
+		t.Fatalf("Modes() = %v", got)
 	}
-	if o.HeartbeatInterval <= 0 || o.CheckpointInterval <= 0 || o.DeployCost <= 0 {
-		t.Fatal("defaults missing")
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Modes() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPolicyForModes(t *testing.T) {
+	for _, name := range Modes() {
+		m, err := ParseMode(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol := policyFor(m, core.Options{}, PSOptions{}, 0)
+		if pol.Mode() != name {
+			t.Fatalf("policyFor(%s).Mode() = %q", name, pol.Mode())
+		}
 	}
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"streamha/internal/checkpoint"
 	"streamha/internal/cluster"
 	"streamha/internal/core"
 	"streamha/internal/metrics"
@@ -67,111 +66,47 @@ type PipelineConfig struct {
 	TrackIDs bool
 }
 
-// Group is one deployed subjob with its HA apparatus.
+// Group is one deployed subjob with its HA lifecycle.
 type Group struct {
 	Def  SubjobDef
 	Spec subjob.Spec
 	Mode Mode
 
-	primary     *subjob.Runtime // initial primary (PS/hybrid may migrate; see Live*)
-	asSecondary *subjob.Runtime // second copy under ModeActive
-	hybridSec   *subjob.Runtime // pre-deployed standby under ModeHybrid
-	ackers      []*checkpoint.Acker
-
-	// PS is the passive-standby controller (ModePassive only).
-	PS *PS
-	// Hybrid is the hybrid controller (ModeHybrid only).
-	Hybrid *core.Controller
+	// HA is the subjob's lifecycle engine: one state machine regardless of
+	// mode, with the mode plugged in as its StandbyPolicy.
+	HA *core.Lifecycle
 }
 
 // LiveOutputs returns the output queues of every live copy of the group.
 func (g *Group) LiveOutputs() []*queue.Output {
-	switch g.Mode {
-	case ModeActive:
-		return []*queue.Output{g.primary.Out(), g.asSecondary.Out()}
-	case ModePassive:
-		if g.PS != nil {
-			return []*queue.Output{g.PS.ActiveRuntime().Out()}
-		}
-		return []*queue.Output{g.primary.Out()}
-	case ModeHybrid:
-		if g.Hybrid != nil {
-			outs := []*queue.Output{g.Hybrid.PrimaryRuntime().Out()}
-			if sec := g.Hybrid.SecondaryRuntime(); sec != nil {
-				outs = append(outs, sec.Out())
-			}
-			return outs
-		}
-		outs := []*queue.Output{g.primary.Out()}
-		if g.hybridSec != nil {
-			outs = append(outs, g.hybridSec.Out())
-		}
-		return outs
-	default:
-		return []*queue.Output{g.primary.Out()}
+	outs := []*queue.Output{g.HA.PrimaryRuntime().Out()}
+	if sec := g.HA.SecondaryRuntime(); sec != nil {
+		outs = append(outs, sec.Out())
 	}
+	return outs
 }
 
 // ConsumerTargets returns every copy of the group as a consumer of its
-// input stream, with the flag saying whether data should flow to it now.
+// input stream, with the flag saying whether data should flow to it now:
+// always to the primary, and to a standby copy only while it is running
+// (an AS twin, or a hybrid standby that is currently switched over). A
+// suspended standby's subscription stays inactive — that is the early
+// connection.
 func (g *Group) ConsumerTargets(logical string) []core.Target {
 	stream := subjob.DataStream(g.Spec.ID, logical)
-	switch g.Mode {
-	case ModeActive:
-		return []core.Target{
-			{Node: g.primary.Node(), Stream: stream, Active: true},
-			{Node: g.asSecondary.Node(), Stream: stream, Active: true},
-		}
-	case ModePassive:
-		rt := g.primary
-		if g.PS != nil {
-			rt = g.PS.ActiveRuntime()
-		}
-		return []core.Target{{Node: rt.Node(), Stream: stream, Active: true}}
-	case ModeHybrid:
-		pri, sec, active := g.primary, g.hybridSec, false
-		if g.Hybrid != nil {
-			pri = g.Hybrid.PrimaryRuntime()
-			sec = g.Hybrid.SecondaryRuntime()
-			active = g.Hybrid.Active()
-		}
-		out := []core.Target{{Node: pri.Node(), Stream: stream, Active: true}}
-		if sec != nil {
-			out = append(out, core.Target{Node: sec.Node(), Stream: stream, Active: active})
-		}
-		return out
-	default:
-		return []core.Target{{Node: g.primary.Node(), Stream: stream, Active: true}}
+	out := []core.Target{{Node: g.HA.PrimaryRuntime().Node(), Stream: stream, Active: true}}
+	if sec := g.HA.SecondaryRuntime(); sec != nil {
+		out = append(out, core.Target{Node: sec.Node(), Stream: stream, Active: !sec.Suspended()})
 	}
+	return out
 }
 
 // PrimaryRuntime returns the group's current primary copy.
-func (g *Group) PrimaryRuntime() *subjob.Runtime {
-	switch {
-	case g.Mode == ModePassive && g.PS != nil:
-		return g.PS.ActiveRuntime()
-	case g.Mode == ModeHybrid && g.Hybrid != nil:
-		return g.Hybrid.PrimaryRuntime()
-	default:
-		return g.primary
-	}
-}
+func (g *Group) PrimaryRuntime() *subjob.Runtime { return g.HA.PrimaryRuntime() }
 
 // SecondaryRuntime returns the group's standby copy, or nil (AS returns
-// its second copy).
-func (g *Group) SecondaryRuntime() *subjob.Runtime {
-	switch g.Mode {
-	case ModeActive:
-		return g.asSecondary
-	case ModeHybrid:
-		if g.Hybrid != nil {
-			return g.Hybrid.SecondaryRuntime()
-		}
-		return g.hybridSec
-	default:
-		return nil
-	}
-}
+// its second copy; PS keeps state in a store, not a copy).
+func (g *Group) SecondaryRuntime() *subjob.Runtime { return g.HA.SecondaryRuntime() }
 
 // Pipeline is a deployed chain job.
 type Pipeline struct {
@@ -220,7 +155,9 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	})
 
 	// Copies (phase A): create every runtime before any wiring so that
-	// standby-to-standby early connections can be created uniformly.
+	// standby-to-standby early connections can be created uniformly. The
+	// lifecycles are constructed here too — their wiring closures resolve
+	// lazily — but armed only in Start.
 	for i, def := range cfg.Subjobs {
 		g, err := p.buildGroup(i, def)
 		if err != nil {
@@ -290,27 +227,31 @@ func (p *Pipeline) buildGroup(i int, def SubjobDef) (*Group, error) {
 		return nil, err
 	}
 	primary.Start()
-	g := &Group{Def: def, Spec: spec, Mode: def.Mode, primary: primary}
 
-	needSecondary := def.Mode == ModeActive ||
-		(def.Mode == ModeHybrid && !p.cfg.Hybrid.NoPreDeploy)
-	if def.Mode != ModeNone && cl.Machine(def.Secondary) == nil {
+	pol := policyFor(def.Mode, p.cfg.Hybrid, p.cfg.PS, p.cfg.AckInterval)
+	if pol.NeedsStandbyMachine() && cl.Machine(def.Secondary) == nil {
 		return nil, fmt.Errorf("ha: subjob %s: unknown secondary machine %q", def.ID, def.Secondary)
 	}
-	if needSecondary {
-		secM := cl.Machine(def.Secondary)
-		suspended := def.Mode == ModeHybrid
-		sec, err := subjob.New(spec, secM, suspended)
+	var secondary *subjob.Runtime
+	if create, suspended := pol.PreDeploy(); create {
+		secondary, err = subjob.New(spec, cl.Machine(def.Secondary), suspended)
 		if err != nil {
 			return nil, err
 		}
-		sec.Start()
-		if def.Mode == ModeActive {
-			g.asSecondary = sec
-		} else {
-			g.hybridSec = sec
-		}
+		secondary.Start()
 	}
+
+	g := &Group{Def: def, Spec: spec, Mode: def.Mode}
+	g.HA = core.NewLifecycle(core.LifecycleConfig{
+		Spec:             spec,
+		Clock:            cl.Clock(),
+		Primary:          primary,
+		Secondary:        secondary,
+		SecondaryMachine: cl.Machine(def.Secondary),
+		SpareMachine:     cl.Machine(def.Spare), // nil if unset
+		Wiring:           p.wiringFor(i),
+		Policy:           pol,
+	})
 	return g, nil
 }
 
@@ -323,7 +264,7 @@ func (p *Pipeline) producerOutputs(i int) []*queue.Output {
 	return p.groups[i-1].LiveOutputs()
 }
 
-// wiringFor builds the dynamic wiring closures for group i's controller.
+// wiringFor builds the dynamic wiring closures for group i's lifecycle.
 func (p *Pipeline) wiringFor(i int) core.Wiring {
 	return core.Wiring{
 		UpstreamOutputs: func() []*queue.Output { return p.producerOutputs(i) },
@@ -341,76 +282,25 @@ func (p *Pipeline) wiringFor(i int) core.Wiring {
 	}
 }
 
-// Start launches sink, HA controllers and ackers, then the source — in
-// that order, so no data is published before its consumers are wired.
+// Start launches sink and HA lifecycles, then the source — in that order,
+// so no data is published before its consumers are wired.
 func (p *Pipeline) Start() error {
-	cl := p.cfg.Cluster
 	p.sink.Start()
-	for i, g := range p.groups {
-		switch g.Mode {
-		case ModeNone:
-			g.ackers = append(g.ackers, checkpoint.NewAcker(g.primary, cl.Clock(), p.cfg.AckInterval))
-		case ModeActive:
-			g.ackers = append(g.ackers,
-				checkpoint.NewAcker(g.primary, cl.Clock(), p.cfg.AckInterval),
-				checkpoint.NewAcker(g.asSecondary, cl.Clock(), p.cfg.AckInterval))
-		case ModePassive:
-			g.PS = NewPS(PSConfig{
-				Spec:             g.Spec,
-				Clock:            cl.Clock(),
-				Primary:          g.primary,
-				SecondaryMachine: cl.Machine(g.Def.Secondary),
-				Wiring:           p.wiringFor(i),
-				Options:          p.cfg.PS,
-			})
-			g.PS.Start()
-		case ModeHybrid:
-			var spare = cl.Machine(g.Def.Spare) // nil if unset
-			g.Hybrid = core.NewController(core.ControllerConfig{
-				Spec:             g.Spec,
-				Clock:            cl.Clock(),
-				Primary:          g.primary,
-				Secondary:        g.hybridSec,
-				SecondaryMachine: cl.Machine(g.Def.Secondary),
-				SpareMachine:     spare,
-				Wiring:           p.wiringFor(i),
-				Options:          p.cfg.Hybrid,
-			})
-			if err := g.Hybrid.Start(); err != nil {
-				return err
-			}
-		}
-		for _, a := range g.ackers {
-			a.Start()
+	for _, g := range p.groups {
+		if err := g.HA.Start(); err != nil {
+			return err
 		}
 	}
 	p.source.Start()
 	return nil
 }
 
-// Stop halts everything: source first, then controllers, copies and sink.
+// Stop halts everything: source first, then lifecycles (which own the
+// copies and their HA apparatus) and the sink.
 func (p *Pipeline) Stop() {
 	p.source.Stop()
 	for _, g := range p.groups {
-		for _, a := range g.ackers {
-			a.Stop()
-		}
-		if g.PS != nil {
-			g.PS.Stop()
-			g.PS.ActiveRuntime().Stop()
-		}
-		if g.Hybrid != nil {
-			g.Hybrid.Stop()
-			g.Hybrid.PrimaryRuntime().Stop()
-		} else if g.hybridSec != nil {
-			g.hybridSec.Stop()
-		}
-		if g.Mode != ModePassive && g.Mode != ModeHybrid {
-			g.primary.Stop()
-		}
-		if g.asSecondary != nil {
-			g.asSecondary.Stop()
-		}
+		g.HA.Stop()
 	}
 	p.sink.Stop()
 }
@@ -432,72 +322,54 @@ func (p *Pipeline) Streams() []string { return append([]string(nil), p.streams..
 
 // RegisterMetrics registers every component of the pipeline in reg:
 // transport traffic, source and sink state, and — per group — the current
-// primary/standby runtimes plus the HA apparatus of the group's mode
-// (controller events, detector quality, checkpoint cadence and sizes).
-// Sources are closures that resolve the group's *current* copies at
-// snapshot time, so the registry keeps tracking across switchover,
-// rollback and migration.
+// primary/standby runtimes plus the lifecycle (state, transition log),
+// detector, checkpoint manager and store. Sources are closures that
+// resolve the group's *current* components at snapshot time, so the
+// registry keeps tracking across switchover, rollback and migration.
 func (p *Pipeline) RegisterMetrics(reg *metrics.Registry) {
 	reg.Register("transport", func() any { return p.cfg.Cluster.Stats() })
 	reg.Register("source", func() any { return p.source.Stats() })
 	p.sink.RegisterMetrics(reg)
 	for _, g := range p.groups {
-		g := g
-		id := g.Spec.ID
-		reg.Register("subjob/"+id+"/primary", func() any {
-			return g.PrimaryRuntime().Stats()
-		})
-		reg.Register("subjob/"+id+"/standby", func() any {
-			sec := g.SecondaryRuntime()
-			if sec == nil {
-				return nil
-			}
-			return sec.Stats()
-		})
-		switch {
-		case g.Mode == ModeHybrid && g.Hybrid != nil:
-			hc := g.Hybrid
-			reg.Register("ha/"+id, func() any { return hc.Stats() })
-			reg.Register("detector/"+id, func() any {
-				det := hc.Detector()
-				if det == nil {
-					return nil
-				}
-				return det.Stats()
-			})
-			reg.Register("checkpoint/"+id, func() any {
-				if cm := hc.Checkpoint(); cm != nil {
-					return cm.Stats()
-				}
-				return nil
-			})
-			reg.Register("store/"+id, func() any {
-				if st := hc.DiskStore(); st != nil {
-					return st.Stats()
-				}
-				return nil
-			})
-		case g.Mode == ModePassive && g.PS != nil:
-			ps := g.PS
-			reg.Register("detector/"+id, func() any {
-				det := ps.Detector()
-				if det == nil {
-					return nil
-				}
-				return det.Stats()
-			})
-			reg.Register("checkpoint/"+id, func() any {
-				if cm := ps.Checkpoint(); cm != nil {
-					return cm.Stats()
-				}
-				return nil
-			})
-			reg.Register("store/"+id, func() any {
-				if st := ps.Store(); st != nil {
-					return st.Stats()
-				}
-				return nil
-			})
-		}
+		registerGroupMetrics(reg, g)
 	}
+}
+
+// registerGroupMetrics registers one group's components; shared by the
+// chain and DAG builders. Every mode gets the same set — sources resolve
+// nil components (a NONE subjob's detector, an AS subjob's checkpoint
+// manager) to null at snapshot time.
+func registerGroupMetrics(reg *metrics.Registry, g *Group) {
+	id := g.Spec.ID
+	lc := g.HA
+	reg.Register("subjob/"+id+"/primary", func() any {
+		return lc.PrimaryRuntime().Stats()
+	})
+	reg.Register("subjob/"+id+"/standby", func() any {
+		sec := lc.SecondaryRuntime()
+		if sec == nil {
+			return nil
+		}
+		return sec.Stats()
+	})
+	reg.Register("ha/"+id, func() any { return lc.Stats() })
+	reg.Register("detector/"+id, func() any {
+		det := lc.Detector()
+		if det == nil {
+			return nil
+		}
+		return det.Stats()
+	})
+	reg.Register("checkpoint/"+id, func() any {
+		if cm := lc.Checkpoint(); cm != nil {
+			return cm.Stats()
+		}
+		return nil
+	})
+	reg.Register("store/"+id, func() any {
+		if st := lc.Store(); st != nil {
+			return st.Stats()
+		}
+		return nil
+	})
 }

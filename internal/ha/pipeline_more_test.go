@@ -154,7 +154,7 @@ func TestHybridMultiplexedSecondariesShareOneMachine(t *testing.T) {
 	time.Sleep(300 * time.Millisecond)
 	cl.Machine("p1").CPU().SetBackgroundLoad(0)
 	time.Sleep(400 * time.Millisecond)
-	if len(p.Group(1).Hybrid.Switches()) == 0 {
+	if len(p.Group(1).HA.Switches()) == 0 {
 		t.Fatal("stalled group never switched")
 	}
 

@@ -119,7 +119,7 @@ func TestPipelineHybridSteadyState(t *testing.T) {
 	waitSettled(p, 700*time.Millisecond)
 	verifyExactlyOnce(t, p, 500)
 	g := p.Group(0)
-	if g.Hybrid == nil {
+	if g.HA == nil {
 		t.Fatal("hybrid controller missing")
 	}
 	// Scheduling jitter on a loaded host can trip the aggressive 1-miss
@@ -127,7 +127,7 @@ func TestPipelineHybridSteadyState(t *testing.T) {
 	// method is explicitly designed to tolerate (Section IV-B). What must
 	// hold is that every false switchover rolled back (or is the last,
 	// still-active one) and that delivery stayed exactly-once.
-	sw, rb := len(g.Hybrid.Switches()), len(g.Hybrid.Rollbacks())
+	sw, rb := len(g.HA.Switches()), len(g.HA.Rollbacks())
 	if sw > rb+1 {
 		t.Fatalf("switchovers (%d) did not roll back (%d)", sw, rb)
 	}
@@ -152,10 +152,10 @@ func TestPipelineHybridSwitchoverAndRollback(t *testing.T) {
 	time.Sleep(400 * time.Millisecond)
 
 	g := p.Group(0)
-	if n := len(g.Hybrid.Switches()); n == 0 {
+	if n := len(g.HA.Switches()); n == 0 {
 		t.Fatal("expected at least one switchover")
 	}
-	if n := len(g.Hybrid.Rollbacks()); n == 0 {
+	if n := len(g.HA.Rollbacks()); n == 0 {
 		t.Fatal("expected at least one rollback")
 	}
 	verifyExactlyOnce(t, p, 500)
@@ -174,10 +174,10 @@ func TestPipelinePassiveStandbyMigratesOnStall(t *testing.T) {
 	time.Sleep(400 * time.Millisecond)
 
 	g := p.Group(0)
-	if n := len(g.PS.Migrations()); n == 0 {
+	if n := len(g.HA.Migrations()); n == 0 {
 		t.Fatal("expected at least one migration")
 	}
-	if got := g.PS.ActiveRuntime().Node(); string(got) != "s1" {
+	if got := g.HA.PrimaryRuntime().Node(); string(got) != "s1" {
 		t.Fatalf("active copy on %s, want s1 after migration", got)
 	}
 	verifyExactlyOnce(t, p, 500)
@@ -223,10 +223,10 @@ func TestPipelineHybridSurvivesFailStopPromotion(t *testing.T) {
 	time.Sleep(400 * time.Millisecond)
 
 	g := p.Group(0)
-	if len(g.Hybrid.Promotions()) == 0 {
+	if len(g.HA.Promotions()) == 0 {
 		t.Fatal("expected a fail-stop promotion")
 	}
-	if got := g.Hybrid.PrimaryRuntime().Node(); string(got) != "s1" {
+	if got := g.HA.PrimaryRuntime().Node(); string(got) != "s1" {
 		t.Fatalf("primary on %s, want s1 after promotion", got)
 	}
 	verifyExactlyOnce(t, p, 200)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"streamha/internal/checkpoint"
 	"streamha/internal/cluster"
 	"streamha/internal/core"
 	"streamha/internal/queue"
@@ -18,7 +17,7 @@ import (
 // underlying queue protocol already supports both — an output queue trims
 // only when every consumer acknowledged, and an input queue merges and
 // deduplicates per upstream stream — so the builder's job is wiring and
-// controller construction.
+// lifecycle construction.
 
 // TopologySource declares one source node of a DAG job.
 type TopologySource struct {
@@ -69,7 +68,7 @@ type TopologyConfig struct {
 	Sources []TopologySource
 	Subjobs []TopologySubjob
 	Sinks   []TopologySink
-	// Hybrid and PS tune the HA controllers, AckInterval the ackers and
+	// Hybrid and PS tune the HA policies, AckInterval the ackers and
 	// sinks, as in PipelineConfig.
 	Hybrid      core.Options
 	PS          PSOptions
@@ -139,7 +138,9 @@ func NewTopology(cfg TopologyConfig) (*Topology, error) {
 		})
 	}
 
-	// Subjob copies (phase A), in topological order.
+	// Subjob copies and lifecycles (phase A), in topological order. The
+	// wiring closures resolve lazily, so forward references to groups not
+	// yet built are safe; lifecycles are armed in Start.
 	for _, id := range order {
 		def := t.subjobDef(id)
 		g, err := t.buildGroup(def)
@@ -306,6 +307,19 @@ func (t *Topology) buildGroup(def TopologySubjob) (*Group, error) {
 	}
 	primary.Start()
 
+	pol := policyFor(def.Mode, t.cfg.Hybrid, t.cfg.PS, t.cfg.AckInterval)
+	if pol.NeedsStandbyMachine() && cl.Machine(def.Secondary) == nil {
+		return nil, fmt.Errorf("ha: subjob %s: unknown secondary machine %q", def.ID, def.Secondary)
+	}
+	var secondary *subjob.Runtime
+	if create, suspended := pol.PreDeploy(); create {
+		secondary, err = subjob.New(spec, cl.Machine(def.Secondary), suspended)
+		if err != nil {
+			return nil, err
+		}
+		secondary.Start()
+	}
+
 	sjDef := SubjobDef{
 		ID:        def.ID,
 		PEs:       def.PEs,
@@ -315,25 +329,17 @@ func (t *Topology) buildGroup(def TopologySubjob) (*Group, error) {
 		Spare:     def.Spare,
 		BatchSize: def.BatchSize,
 	}
-	g := &Group{Def: sjDef, Spec: spec, Mode: def.Mode, primary: primary}
-
-	if def.Mode != ModeNone && cl.Machine(def.Secondary) == nil {
-		return nil, fmt.Errorf("ha: subjob %s: unknown secondary machine %q", def.ID, def.Secondary)
-	}
-	needSecondary := def.Mode == ModeActive ||
-		(def.Mode == ModeHybrid && !t.cfg.Hybrid.NoPreDeploy)
-	if needSecondary {
-		sec, err := subjob.New(spec, cl.Machine(def.Secondary), def.Mode == ModeHybrid)
-		if err != nil {
-			return nil, err
-		}
-		sec.Start()
-		if def.Mode == ModeActive {
-			g.asSecondary = sec
-		} else {
-			g.hybridSec = sec
-		}
-	}
+	g := &Group{Def: sjDef, Spec: spec, Mode: def.Mode}
+	g.HA = core.NewLifecycle(core.LifecycleConfig{
+		Spec:             spec,
+		Clock:            cl.Clock(),
+		Primary:          primary,
+		Secondary:        secondary,
+		SecondaryMachine: cl.Machine(def.Secondary),
+		SpareMachine:     cl.Machine(def.Spare),
+		Wiring:           t.wiringFor(def),
+		Policy:           pol,
+	})
 	return g, nil
 }
 
@@ -349,7 +355,7 @@ func (t *Topology) producerOutputs(in string) []*queue.Output {
 	return nil
 }
 
-// wiringFor builds the controller wiring closures for a DAG node.
+// wiringFor builds the lifecycle wiring closures for a DAG node.
 func (t *Topology) wiringFor(def TopologySubjob) core.Wiring {
 	return core.Wiring{
 		UpstreamOutputs: func() []*queue.Output {
@@ -385,49 +391,14 @@ func (t *Topology) wiringFor(def TopologySubjob) core.Wiring {
 	}
 }
 
-// Start launches sinks, HA controllers and ackers, then the sources.
+// Start launches sinks and HA lifecycles, then the sources.
 func (t *Topology) Start() error {
-	cl := t.cfg.Cluster
 	for _, sk := range t.sinks {
 		sk.Start()
 	}
 	for _, id := range t.order {
-		def := t.subjobDef(id)
-		g := t.groups[id]
-		switch def.Mode {
-		case ModeNone:
-			g.ackers = append(g.ackers, checkpoint.NewAcker(g.primary, cl.Clock(), t.cfg.AckInterval))
-		case ModeActive:
-			g.ackers = append(g.ackers,
-				checkpoint.NewAcker(g.primary, cl.Clock(), t.cfg.AckInterval),
-				checkpoint.NewAcker(g.asSecondary, cl.Clock(), t.cfg.AckInterval))
-		case ModePassive:
-			g.PS = NewPS(PSConfig{
-				Spec:             g.Spec,
-				Clock:            cl.Clock(),
-				Primary:          g.primary,
-				SecondaryMachine: cl.Machine(def.Secondary),
-				Wiring:           t.wiringFor(def),
-				Options:          t.cfg.PS,
-			})
-			g.PS.Start()
-		case ModeHybrid:
-			g.Hybrid = core.NewController(core.ControllerConfig{
-				Spec:             g.Spec,
-				Clock:            cl.Clock(),
-				Primary:          g.primary,
-				Secondary:        g.hybridSec,
-				SecondaryMachine: cl.Machine(def.Secondary),
-				SpareMachine:     cl.Machine(def.Spare),
-				Wiring:           t.wiringFor(def),
-				Options:          t.cfg.Hybrid,
-			})
-			if err := g.Hybrid.Start(); err != nil {
-				return err
-			}
-		}
-		for _, a := range g.ackers {
-			a.Start()
+		if err := t.groups[id].HA.Start(); err != nil {
+			return err
 		}
 	}
 	for _, s := range t.sources {
@@ -436,32 +407,14 @@ func (t *Topology) Start() error {
 	return nil
 }
 
-// Stop halts everything: sources first, then controllers, copies and sinks.
+// Stop halts everything: sources first, then lifecycles (which own the
+// copies and their HA apparatus) and the sinks.
 func (t *Topology) Stop() {
 	for _, s := range t.sources {
 		s.Stop()
 	}
 	for _, id := range t.order {
-		g := t.groups[id]
-		for _, a := range g.ackers {
-			a.Stop()
-		}
-		if g.PS != nil {
-			g.PS.Stop()
-			g.PS.ActiveRuntime().Stop()
-		}
-		if g.Hybrid != nil {
-			g.Hybrid.Stop()
-			g.Hybrid.PrimaryRuntime().Stop()
-		} else if g.hybridSec != nil {
-			g.hybridSec.Stop()
-		}
-		if g.Mode != ModePassive && g.Mode != ModeHybrid {
-			g.primary.Stop()
-		}
-		if g.asSecondary != nil {
-			g.asSecondary.Stop()
-		}
+		t.groups[id].HA.Stop()
 	}
 	for _, sk := range t.sinks {
 		sk.Stop()

@@ -85,7 +85,7 @@ func TestTopologyDiamondHybridBranchSurvivesStall(t *testing.T) {
 	topo.Source("feed").Stop()
 	time.Sleep(400 * time.Millisecond)
 
-	if len(topo.Group("a").Hybrid.Switches()) == 0 {
+	if len(topo.Group("a").HA.Switches()) == 0 {
 		t.Fatal("hybrid branch never switched")
 	}
 	verifyDiamondDelivery(t, topo, 800)

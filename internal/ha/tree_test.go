@@ -124,7 +124,7 @@ func TestTreeTopologyWithHybridBranch(t *testing.T) {
 	}
 
 	// Protect branch A with the hybrid method on machine m-a2.
-	ctl := core.NewController(core.ControllerConfig{
+	ctl := core.NewLifecycle(core.LifecycleConfig{
 		Spec:             branchSpec("a"),
 		Clock:            clk,
 		Primary:          branchA,
@@ -135,6 +135,7 @@ func TestTreeTopologyWithHybridBranch(t *testing.T) {
 				return []core.Target{{Node: "m-merge", Stream: subjob.DataStream("tree/merge", "ma"), Active: true}}
 			},
 		},
+		Policy: core.NewHybridPolicy(core.Options{}),
 	})
 	if err := ctl.Start(); err != nil {
 		t.Fatal(err)

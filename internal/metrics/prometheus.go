@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the content type of the text exposition format
+// produced by WritePrometheus.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promLine is one sample of the exposition: a gauge, optionally carrying a
+// single "value" label for string-valued leaves (info-style gauges).
+type promLine struct {
+	name  string
+	label string // empty for plain numeric gauges
+	value string
+}
+
+// WritePrometheus renders the registry snapshot in the Prometheus text
+// exposition format (version 0.0.4). The nested per-source structures are
+// flattened into gauge names: source "ha/job/sj1" with field "switchovers"
+// becomes `streamha_ha_job_sj1_switchovers`. Numbers export as gauges,
+// booleans as 0/1, and string leaves as info-style gauges with the string
+// in a `value` label (`streamha_..._state{value="protected"} 1`); arrays
+// and null sources are skipped. Output is sorted by metric name, so the
+// exposition is deterministic for a given snapshot.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	// The JSON round-trip normalizes every source's typed stats struct into
+	// maps and float64/bool/string leaves, reusing the exact field names the
+	// JSON endpoint exposes.
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		return err
+	}
+	var tree map[string]any
+	if err := json.Unmarshal(raw, &tree); err != nil {
+		return err
+	}
+	var lines []promLine
+	flattenProm("streamha", tree, &lines)
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].name != lines[j].name {
+			return lines[i].name < lines[j].name
+		}
+		return lines[i].label < lines[j].label
+	})
+	for _, l := range lines {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", l.name); err != nil {
+			return err
+		}
+		if l.label != "" {
+			if _, err := fmt.Fprintf(w, "%s{value=%q} %s\n", l.name, l.label, l.value); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", l.name, l.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func flattenProm(prefix string, v any, out *[]promLine) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, child := range x {
+			flattenProm(prefix+"_"+promSanitize(k), child, out)
+		}
+	case float64:
+		*out = append(*out, promLine{name: prefix, value: strconv.FormatFloat(x, 'g', -1, 64)})
+	case bool:
+		val := "0"
+		if x {
+			val = "1"
+		}
+		*out = append(*out, promLine{name: prefix, value: val})
+	case string:
+		*out = append(*out, promLine{name: prefix, label: x, value: "1"})
+	default:
+		// Arrays (e.g. transition logs) and nulls have no gauge rendering;
+		// they stay JSON-only.
+	}
+}
+
+// promSanitize maps one snapshot path component onto the Prometheus metric
+// name alphabet [a-zA-Z0-9_].
+func promSanitize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusFlattensSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("transport", func() any {
+		return map[string]any{"messages": 42, "bytes": 1.5}
+	})
+	reg.Register("ha/job/sj1", func() any {
+		return map[string]any{
+			"state":          "protected",
+			"standby_active": false,
+			"switchovers":    3,
+			"transitions":    []string{"a", "b"}, // arrays stay JSON-only
+		}
+	})
+	reg.Register("store/job/sj1", func() any { return nil }) // null source skipped
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"streamha_transport_messages 42\n",
+		"streamha_transport_bytes 1.5\n",
+		"streamha_ha_job_sj1_switchovers 3\n",
+		"streamha_ha_job_sj1_standby_active 0\n",
+		`streamha_ha_job_sj1_state{value="protected"} 1` + "\n",
+		"# TYPE streamha_transport_messages gauge\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	for _, reject := range []string{"transitions", "store_job"} {
+		if strings.Contains(out, reject) {
+			t.Fatalf("exposition should not contain %q:\n%s", reject, out)
+		}
+	}
+}
+
+func TestWritePrometheusDeterministicOrder(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("b", func() any { return map[string]any{"x": 1} })
+	reg.Register("a", func() any { return map[string]any{"y": 2, "x": 1} })
+
+	var first bytes.Buffer
+	if err := reg.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		var again bytes.Buffer
+		if err := reg.WritePrometheus(&again); err != nil {
+			t.Fatal(err)
+		}
+		if again.String() != first.String() {
+			t.Fatalf("non-deterministic exposition:\n%s\nvs\n%s", first.String(), again.String())
+		}
+	}
+	if !strings.HasPrefix(first.String(), "# TYPE streamha_a_x gauge\nstreamha_a_x 1\n") {
+		t.Fatalf("sorted output should start with streamha_a_x:\n%s", first.String())
+	}
+}
+
+func TestPromSanitize(t *testing.T) {
+	cases := map[string]string{
+		"ha/job/sj1":  "ha_job_sj1",
+		"p99(ms)":     "p99_ms_",
+		"plain_name9": "plain_name9",
+	}
+	for in, want := range cases {
+		if got := promSanitize(in); got != want {
+			t.Fatalf("promSanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

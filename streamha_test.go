@@ -58,7 +58,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 			t.Fatalf("element %d delivered %d times", id, n)
 		}
 	}
-	if sw := pipe.Group(0).Hybrid.Switches(); len(sw) == 0 {
+	if sw := pipe.Group(0).HA.Switches(); len(sw) == 0 {
 		t.Fatal("no switchover during the stall")
 	}
 	_, gaps := pipe.Sink().In().Drops()
