@@ -1,0 +1,66 @@
+package streamha_test
+
+// Keyed-parallelism benchmarks: the scaling figure end to end plus the
+// routing-table hot paths a partitioned send touches per element.
+//
+//	go test -bench=BenchmarkPartitioned -benchtime=1x
+
+import (
+	"testing"
+
+	"streamha/internal/experiment"
+	"streamha/internal/queue"
+)
+
+// BenchmarkPartitionedScale runs the smoke variant of the "-fig scale"
+// experiment: counter-workload throughput at 1 and 4 partition-instances,
+// then a live 2->3 rescale audited for exactly-once delivery.
+func BenchmarkPartitionedScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunScale(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pt := range r.Points {
+			switch pt.Parallelism {
+			case 1:
+				b.ReportMetric(pt.ElemsPerSec, "n1-eps")
+			case 4:
+				b.ReportMetric(pt.ElemsPerSec, "n4-eps")
+				b.ReportMetric(pt.Speedup, "n4-speedup-x")
+			}
+		}
+		b.ReportMetric(r.Rescale.CutoverPause.Seconds()*1e3, "cutover-ms")
+		b.ReportMetric(float64(r.Rescale.DeltaBytes), "delta-B")
+		b.ReportMetric(float64(r.Rescale.Lost), "lost")
+		b.ReportMetric(float64(r.Rescale.Duplicated), "duped")
+	}
+}
+
+// BenchmarkPartitionedRouting measures the per-element routing read every
+// producer of a keyed stage performs: one atomic table load plus one hash.
+func BenchmarkPartitionedRouting(b *testing.B) {
+	pt := queue.NewPartitioner(0, 4)
+	var acc int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc += pt.Instance(uint64(i))
+	}
+	if acc < 0 {
+		b.Fatal("impossible")
+	}
+}
+
+// BenchmarkPartitionedMove measures the copy-on-write table flip a live
+// rescaling cutover performs, interleaved with routing reads staying
+// lock-free.
+func BenchmarkPartitionedMove(b *testing.B) {
+	pt := queue.NewPartitioner(0, 2)
+	parts := pt.OwnedBy(0)[:1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pt.Move(parts, i%2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -15,7 +15,9 @@
 // "checkpoint" (snapshot codec, pause-window and shipped-volume
 // microbenchmarks; -smoke runs its fast codec subset only) and
 // "lifecycle" (control-plane transition logs per standby policy under a
-// scripted stall + fail-stop).
+// scripted stall + fail-stop) and "scale" (keyed-parallelism throughput
+// at 1/2/4/8 partition instances plus a live 2->3 rescale with
+// exactly-once audit; -smoke sweeps {1,4} with short runs).
 package main
 
 import (
@@ -30,7 +32,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1,2,4,5,6,7,8,9,11,12,sweeping,ablation,throughput,delaystats,wire,checkpoint,lifecycle or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1,2,4,5,6,7,8,9,11,12,sweeping,ablation,throughput,delaystats,wire,checkpoint,lifecycle,scale or all")
 	quick := flag.Bool("quick", false, "reduced sweeps and repeats for a fast look")
 	smoke := flag.Bool("smoke", false, "health-check subset for CI (currently affects -fig checkpoint)")
 	flag.Parse()
@@ -222,9 +224,18 @@ func run(fig string, quick, smoke bool) error {
 		show(r.Table(), time.Since(start))
 	}
 
+	if want("scale") {
+		start := time.Now()
+		r, err := experiment.RunScale(smoke || quick)
+		if err != nil {
+			return err
+		}
+		show(r.Table(), time.Since(start))
+	}
+
 	if !ran {
 		return fmt.Errorf("unknown figure %q (try: %s)", fig,
-			strings.Join([]string{"1", "2", "4", "5", "6", "7", "8", "9", "11", "12", "sweeping", "ablation", "throughput", "delaystats", "wire", "checkpoint", "lifecycle", "all"}, ", "))
+			strings.Join([]string{"1", "2", "4", "5", "6", "7", "8", "9", "11", "12", "sweeping", "ablation", "throughput", "delaystats", "wire", "checkpoint", "lifecycle", "scale", "all"}, ", "))
 	}
 	return nil
 }

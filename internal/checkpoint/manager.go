@@ -109,6 +109,15 @@ type Manager interface {
 	// the incremental cadence — the rebase a standby-side store requests
 	// after reporting a broken delta chain.
 	ForceFull()
+	// Pause suspends checkpointing. A live rescaling pauses the donor's
+	// manager while it drives its own CaptureFull/CaptureDelta chain over
+	// the same runtime — an interleaved manager capture would reset the
+	// runtime's per-PE delta tracking and silently corrupt both chains.
+	Pause()
+	// Resume re-enables checkpointing and forces the next checkpoint full,
+	// re-basing the manager's own delta chain past whatever the pause
+	// interleaved.
+	Resume()
 	// Stats captures the manager's activity for the metrics registry.
 	Stats() ManagerStats
 }
@@ -138,6 +147,7 @@ type Sweeping struct {
 	sinceFull   int
 	lastOutNext uint64
 	fullNext    bool
+	paused      bool
 	started     bool
 }
 
@@ -255,6 +265,10 @@ func (s *Sweeping) CheckpointNow() time.Duration {
 	defer s.capMu.Unlock()
 
 	s.mu.Lock()
+	if s.paused {
+		s.mu.Unlock()
+		return 0
+	}
 	tryDelta := !s.fullNext && wantDeltaLocked(&s.cfg, s.sinceFull, s.lastOutNext, len(s.pending))
 	s.fullNext = false
 	outSince := s.lastOutNext
@@ -337,6 +351,24 @@ func (s *Sweeping) onStoreAck(_ transport.NodeID, msg transport.Message) {
 // ForceFull implements Manager.
 func (s *Sweeping) ForceFull() {
 	s.mu.Lock()
+	s.fullNext = true
+	s.mu.Unlock()
+}
+
+// Pause implements Manager. Taking capMu waits out any in-flight capture,
+// so when Pause returns no manager capture is running or will run.
+func (s *Sweeping) Pause() {
+	s.capMu.Lock()
+	defer s.capMu.Unlock()
+	s.mu.Lock()
+	s.paused = true
+	s.mu.Unlock()
+}
+
+// Resume implements Manager: checkpointing restarts with a full snapshot.
+func (s *Sweeping) Resume() {
+	s.mu.Lock()
+	s.paused = false
 	s.fullNext = true
 	s.mu.Unlock()
 }

@@ -34,6 +34,7 @@ type Synchronous struct {
 	sinceFull   int
 	lastOutNext uint64
 	fullNext    bool
+	paused      bool
 	started     bool
 }
 
@@ -111,6 +112,10 @@ func (s *Synchronous) CheckpointNow() time.Duration {
 	defer s.capMu.Unlock()
 
 	s.mu.Lock()
+	if s.paused {
+		s.mu.Unlock()
+		return 0
+	}
 	tryDelta := !s.fullNext && wantDeltaLocked(&s.cfg, s.sinceFull, s.lastOutNext, len(s.pending))
 	s.fullNext = false
 	outSince := s.lastOutNext
@@ -197,6 +202,23 @@ func (s *Synchronous) ForceFull() {
 	s.mu.Unlock()
 }
 
+// Pause implements Manager (see the interface comment).
+func (s *Synchronous) Pause() {
+	s.capMu.Lock()
+	defer s.capMu.Unlock()
+	s.mu.Lock()
+	s.paused = true
+	s.mu.Unlock()
+}
+
+// Resume implements Manager: checkpointing restarts with a full snapshot.
+func (s *Synchronous) Resume() {
+	s.mu.Lock()
+	s.paused = false
+	s.fullNext = true
+	s.mu.Unlock()
+}
+
 // Taken returns how many checkpoints were initiated.
 func (s *Synchronous) Taken() int {
 	s.mu.Lock()
@@ -259,6 +281,7 @@ type Individual struct {
 	sinceFull   int
 	lastOutNext uint64
 	fullNext    bool
+	paused      bool
 	started     bool
 }
 
@@ -355,6 +378,10 @@ func (ind *Individual) checkpointPE(i int) time.Duration {
 	last := i == len(rt.PEs())-1
 
 	ind.mu.Lock()
+	if ind.paused {
+		ind.mu.Unlock()
+		return 0
+	}
 	tryDelta := !ind.fullNext && wantDeltaLocked(&ind.cfg, ind.sinceFull, ind.lastOutNext, len(ind.pending))
 	ind.fullNext = false
 	outSince := ind.lastOutNext
@@ -475,6 +502,23 @@ func (ind *Individual) onStoreAck(_ transport.NodeID, msg transport.Message) {
 // ForceFull implements Manager.
 func (ind *Individual) ForceFull() {
 	ind.mu.Lock()
+	ind.fullNext = true
+	ind.mu.Unlock()
+}
+
+// Pause implements Manager (see the interface comment).
+func (ind *Individual) Pause() {
+	ind.capMu.Lock()
+	defer ind.capMu.Unlock()
+	ind.mu.Lock()
+	ind.paused = true
+	ind.mu.Unlock()
+}
+
+// Resume implements Manager: checkpointing restarts with a full snapshot.
+func (ind *Individual) Resume() {
+	ind.mu.Lock()
+	ind.paused = false
 	ind.fullNext = true
 	ind.mu.Unlock()
 }

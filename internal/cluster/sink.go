@@ -73,13 +73,37 @@ func NewSink(cfg SinkConfig) *Sink {
 		s.ids = make(map[uint64]int)
 	}
 	for _, logical := range cfg.InStreams {
-		logical := logical
-		cfg.Machine.RegisterStream(subjob.DataStream(cfg.ID, logical), func(from transport.NodeID, msg transport.Message) {
-			s.noteSender(logical, from)
-			s.in.Push(logical, msg.Elements)
-		})
+		s.registerInput(logical)
 	}
 	return s
+}
+
+func (s *Sink) registerInput(logical string) {
+	s.cfg.Machine.RegisterStream(subjob.DataStream(s.cfg.ID, logical), func(from transport.NodeID, msg transport.Message) {
+		s.noteSender(logical, from)
+		s.in.Push(logical, msg.Elements)
+	})
+}
+
+// AddInput starts consuming a new logical stream owned by owner. Live
+// rescaling uses it to attach the output stream of an instance added
+// after deployment; the caller subscribes the sink on the producer side.
+func (s *Sink) AddInput(logical, owner string) {
+	s.mu.Lock()
+	for _, st := range s.cfg.InStreams {
+		if st == logical {
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.cfg.InStreams = append(s.cfg.InStreams, logical)
+	if s.cfg.Owners == nil {
+		s.cfg.Owners = make(map[string]string)
+	}
+	s.cfg.Owners[logical] = owner
+	s.mu.Unlock()
+	s.in.AddStream(logical)
+	s.registerInput(logical)
 }
 
 // Node returns the sink machine's node ID.
@@ -192,7 +216,10 @@ func (s *Sink) Stop() {
 		close(s.stop)
 	}
 	<-s.done
-	for _, logical := range s.cfg.InStreams {
+	s.mu.Lock()
+	streams := append([]string(nil), s.cfg.InStreams...)
+	s.mu.Unlock()
+	for _, logical := range streams {
 		s.cfg.Machine.UnregisterStream(subjob.DataStream(s.cfg.ID, logical))
 	}
 }

@@ -39,6 +39,9 @@ type SourceConfig struct {
 	BurstFactor float64
 	// Payload derives an element's payload from its ID; nil keeps the ID.
 	Payload func(id uint64) int64
+	// KeyOf derives an element's routing key from its ID; nil keeps the ID,
+	// which spreads keys uniformly over a keyed-parallel first stage.
+	KeyOf func(id uint64) uint64
 }
 
 // Source emits a deterministic element stream through an output queue, so
@@ -66,6 +69,9 @@ func NewSource(cfg SourceConfig) *Source {
 	}
 	if cfg.Payload == nil {
 		cfg.Payload = func(id uint64) int64 { return int64(id) }
+	}
+	if cfg.KeyOf == nil {
+		cfg.KeyOf = func(id uint64) uint64 { return id }
 	}
 	s := &Source{
 		cfg:  cfg,
@@ -193,6 +199,7 @@ func (s *Source) emit(epoch time.Time, dt time.Duration) {
 		s.nextID++
 		batch[i] = element.Element{
 			ID:      s.nextID,
+			Key:     s.cfg.KeyOf(s.nextID),
 			Origin:  now,
 			Payload: s.cfg.Payload(s.nextID),
 		}

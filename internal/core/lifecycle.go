@@ -436,16 +436,40 @@ func (lc *Lifecycle) startDetector(monitor *machine.Machine, target transport.No
 	det.Start()
 }
 
+// upPart returns the partition-instance index this subjob's copies consume
+// from upstream outputs: the configured instance index for a keyed-parallel
+// stage, -1 (unfiltered) otherwise.
+func (lc *Lifecycle) upPart() int {
+	if lc.cfg.Wiring.InPartitioner != nil {
+		return lc.cfg.Wiring.Part
+	}
+	return -1
+}
+
+// applyPartitioning gives a newly created copy the same partition view as
+// the copy it replaces or protects: the downstream routing table on its
+// output and the input-queue guard of its own stage.
+func (lc *Lifecycle) applyPartitioning(rt *subjob.Runtime) {
+	w := lc.cfg.Wiring
+	if w.OutPartitioner != nil {
+		rt.Out().SetPartitioner(w.OutPartitioner)
+	}
+	if w.InPartitioner != nil {
+		rt.SetInputPartition(w.InPartitioner, w.Part)
+	}
+}
+
 // connectStandby creates the standby's early connections: inactive
 // subscriptions from every upstream output, and subscriptions from the
 // standby's output to every downstream target (no data flows while the
 // standby is suspended).
 func (lc *Lifecycle) connectStandby(sec *subjob.Runtime) {
+	part := lc.upPart()
 	for _, up := range lc.cfg.Wiring.UpstreamOutputs() {
-		up.Subscribe(sec.Node(), subjob.DataStream(sec.Spec().ID, up.StreamID), false)
+		up.SubscribePart(sec.Node(), subjob.DataStream(sec.Spec().ID, up.StreamID), false, part)
 	}
 	for _, t := range lc.cfg.Wiring.DownstreamTargets() {
-		sec.Out().Subscribe(t.Node, t.Stream, t.Active)
+		sec.Out().SubscribePart(t.Node, t.Stream, t.Active, t.Part)
 	}
 }
 
@@ -666,6 +690,11 @@ func (lc *Lifecycle) recordMigration(ev MigrationEvent) {
 	lc.migrations = append(lc.migrations, ev)
 	lc.mu.Unlock()
 }
+
+// NoteMigration records a state migration performed outside the event loop
+// — the live-rescaling cutover reuses the migration bookkeeping, so the
+// metrics registry reports rescales alongside failovers.
+func (lc *Lifecycle) NoteMigration(ev MigrationEvent) { lc.recordMigration(ev) }
 
 func (lc *Lifecycle) recordRollback(ev RollbackEvent) {
 	lc.mu.Lock()

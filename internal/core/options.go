@@ -12,10 +12,14 @@ import (
 // copy's (or the sink's) node and data-stream name. Active reports whether
 // that consumer should currently receive published data (false for a
 // suspended hybrid standby, whose subscription is an early connection).
+// Part is the consumer's partition-instance index when the downstream
+// stage is keyed-parallel, or -1 for an unfiltered consumer; the zero
+// value is harmless for unpartitioned outputs (no router installed).
 type Target struct {
 	Node   transport.NodeID
 	Stream string
 	Active bool
+	Part   int
 }
 
 // Wiring tells a lifecycle how its subjob connects to the rest of the
@@ -28,6 +32,17 @@ type Wiring struct {
 	UpstreamOutputs func() []*queue.Output
 	// DownstreamTargets returns the consumer copies of this subjob's output.
 	DownstreamTargets func() []Target
+	// OutPartitioner, when non-nil, is the keyed-parallel routing table of
+	// the downstream stage; the lifecycle installs it on the output queue of
+	// every copy it creates, so replicas route identically.
+	OutPartitioner *queue.Partitioner
+	// InPartitioner, when non-nil, marks the protected subjob as partition
+	// instance Part of its own keyed-parallel stage: new copies receive the
+	// input-queue guard and upstream subscriptions filter to Part.
+	InPartitioner *queue.Partitioner
+	// Part is the partition-instance index served (meaningful only with
+	// InPartitioner).
+	Part int
 }
 
 // Options tunes the hybrid method. The zero value selects the paper's full

@@ -108,12 +108,14 @@ func (ap *ActivePolicy) Arm(lc *Lifecycle) error {
 		if err != nil {
 			return err
 		}
+		lc.applyPartitioning(sec)
 		sec.Start()
+		part := lc.upPart()
 		for _, up := range lc.cfg.Wiring.UpstreamOutputs() {
-			up.Subscribe(sec.Node(), subjob.DataStream(sec.Spec().ID, up.StreamID), true)
+			up.SubscribePart(sec.Node(), subjob.DataStream(sec.Spec().ID, up.StreamID), true, part)
 		}
 		for _, t := range lc.cfg.Wiring.DownstreamTargets() {
-			sec.Out().Subscribe(t.Node, t.Stream, t.Active)
+			sec.Out().SubscribePart(t.Node, t.Stream, t.Active, t.Part)
 		}
 		lc.mu.Lock()
 		lc.secondary = sec

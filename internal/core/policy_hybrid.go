@@ -58,6 +58,7 @@ func (hp *HybridPolicy) Arm(lc *Lifecycle) error {
 			if err != nil {
 				return err
 			}
+			lc.applyPartitioning(sec)
 			sec.Start()
 			if !hp.opts.NoEarlyConnection {
 				lc.connectStandby(sec)
@@ -122,6 +123,7 @@ func (hp *HybridPolicy) Failover(lc *Lifecycle, detectedAt time.Time) State {
 		if err != nil {
 			return Protected
 		}
+		lc.applyPartitioning(rt)
 		if snap, ok := lc.Store().Latest(); ok {
 			if err := rt.Restore(snap); err != nil {
 				return Protected
@@ -144,11 +146,12 @@ func (hp *HybridPolicy) Failover(lc *Lifecycle, detectedAt time.Time) State {
 		// Ablation: establish connections now, paying per-connection cost.
 		downs := lc.cfg.Wiring.DownstreamTargets()
 		secM.CPU().Execute(hp.opts.ConnectCost * time.Duration(len(ups)+len(downs)))
+		part := lc.upPart()
 		for _, up := range ups {
-			up.Subscribe(sec.Node(), subjob.DataStream(sec.Spec().ID, up.StreamID), false)
+			up.SubscribePart(sec.Node(), subjob.DataStream(sec.Spec().ID, up.StreamID), false, part)
 		}
 		for _, t := range downs {
-			sec.Out().Subscribe(t.Node, t.Stream, t.Active)
+			sec.Out().SubscribePart(t.Node, t.Stream, t.Active, t.Part)
 		}
 	}
 	for _, up := range ups {
@@ -294,6 +297,7 @@ func (hp *HybridPolicy) Promote(lc *Lifecycle, _ time.Time) State {
 	if err != nil {
 		return Unprotected
 	}
+	lc.applyPartitioning(newSec)
 	spare.CPU().Execute(hp.opts.DeployCost)
 	newSec.Start()
 	lc.connectStandby(newSec)

@@ -105,6 +105,7 @@ func (pp *PassivePolicy) Failover(lc *Lifecycle, detectedAt time.Time) State {
 	if err != nil {
 		return Unprotected
 	}
+	lc.applyPartitioning(rt)
 	if snap, ok := store.Latest(); ok {
 		if err := rt.Restore(snap); err != nil {
 			return Unprotected
@@ -122,7 +123,7 @@ func (pp *PassivePolicy) Failover(lc *Lifecycle, detectedAt time.Time) State {
 		up.ResetSubscriber(old.Node(), rt.Node(), subjob.DataStream(lc.cfg.Spec.ID, up.StreamID))
 	}
 	for _, t := range downs {
-		rt.Out().Subscribe(t.Node, t.Stream, t.Active)
+		rt.Out().SubscribePart(t.Node, t.Stream, t.Active, t.Part)
 	}
 	rt.Out().RetransmitAll()
 

@@ -133,11 +133,30 @@ func (s *StandbyStore) apply(req storeReq) {
 		return
 	}
 
+	var ckptPos map[string]uint64
+	if delta != nil {
+		ckptPos = delta.Consumed
+	} else {
+		ckptPos = snap.Consumed
+	}
+
 	applied := false
 	suspended := false
 	rt.Exclusive(func() {
 		suspended = rt.Suspended()
 		if !suspended {
+			return
+		}
+		if !positionsCover(ckptPos, rt.ConsumedPositions()) {
+			// The checkpoint was captured before the standby's current state
+			// (a capture in flight across a rollback, which re-suspends the
+			// standby at its live — newer — positions). Applying it would
+			// rewind consumed positions and the output sequence while the
+			// input queue's dedup floor stays put, so the next activation
+			// would drop the replayed gap as duplicates and permanently
+			// shift the output sequence mapping. The standby's state covers
+			// everything the checkpoint does, so skip it (acknowledged: the
+			// skip leaves applied=false with suspended=true below).
 			return
 		}
 		if delta != nil {
@@ -153,9 +172,9 @@ func (s *StandbyStore) apply(req storeReq) {
 		s.chainOK = true
 	} else {
 		s.skipped++
-		// A live standby's state supersedes checkpoints, and a failed apply
-		// leaves it indeterminate; either way the chain must restart from the
-		// next full snapshot.
+		// A live standby's state supersedes checkpoints, a stale checkpoint
+		// is behind it, and a failed apply leaves it indeterminate; in every
+		// case the chain must restart from the next full snapshot.
 		s.chainOK = false
 	}
 	ack := applied || suspended || delta == nil

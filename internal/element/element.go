@@ -31,10 +31,16 @@ type Element struct {
 	Origin  int64
 	Seq     uint64
 	Payload int64
+	// Key is the partitioning key: keyed-parallel stages route an element
+	// to the instance owning KeyHash(Key)'s partition. Sources stamp it and
+	// deterministic PEs must carry it through to derived outputs, so an
+	// element stays on its partition across the whole chain. Zero is a
+	// valid key.
+	Key uint64
 }
 
 // EncodedSize is the wire size of one element in bytes.
-const EncodedSize = 8 * 4
+const EncodedSize = 8 * 5
 
 // AppendEncode appends the binary encoding of e to dst and returns the
 // extended slice.
@@ -44,6 +50,7 @@ func (e Element) AppendEncode(dst []byte) []byte {
 	binary.BigEndian.PutUint64(buf[8:16], uint64(e.Origin))
 	binary.BigEndian.PutUint64(buf[16:24], e.Seq)
 	binary.BigEndian.PutUint64(buf[24:32], uint64(e.Payload))
+	binary.BigEndian.PutUint64(buf[32:40], e.Key)
 	return append(dst, buf[:]...)
 }
 
@@ -57,6 +64,7 @@ func Decode(b []byte) (Element, error) {
 		Origin:  int64(binary.BigEndian.Uint64(b[8:16])),
 		Seq:     binary.BigEndian.Uint64(b[16:24]),
 		Payload: int64(binary.BigEndian.Uint64(b[24:32])),
+		Key:     binary.BigEndian.Uint64(b[32:40]),
 	}, nil
 }
 
@@ -122,6 +130,30 @@ func DeriveID(parent uint64, i int) uint64 {
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
 	return x
+}
+
+// KeyHash maps a partitioning key to a well-distributed 64-bit hash (the
+// splitmix64 finalizer). It is a pure function of the key, so every copy of
+// every producer — and every restart — routes a key identically.
+func KeyHash(key uint64) uint64 {
+	x := key + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// PartitionOf returns the logical partition of key among parts partitions.
+// Partitions are stable in the number of logical partitions, not in the
+// number of instances, so rescaling an operator moves whole partitions
+// between instances without reshuffling the keys inside unmoved ones.
+func PartitionOf(key uint64, parts int) int {
+	if parts <= 1 {
+		return 0
+	}
+	return int(KeyHash(key) % uint64(parts))
 }
 
 // String implements fmt.Stringer for debugging output.

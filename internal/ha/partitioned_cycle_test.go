@@ -1,0 +1,200 @@
+package ha_test
+
+import (
+	"testing"
+	"time"
+
+	"streamha/internal/cluster"
+	"streamha/internal/core"
+	"streamha/internal/ha"
+	"streamha/internal/pe"
+	"streamha/internal/subjob"
+)
+
+// buildPartitionedTestbed deploys one keyed-parallel stage at
+// Parallelism(4) under the given HA mode: four partition-instances, each
+// its own lifecycle with a primary on p<k> and (mode permitting) a standby
+// on s<k>.
+func buildPartitionedTestbed(t *testing.T, mode ha.Mode) (*cluster.Cluster, *ha.Pipeline) {
+	t.Helper()
+	cl := cluster.New(cluster.Config{Latency: 100 * time.Microsecond})
+	for _, id := range []string{"m-src", "m-sink", "p0", "p1", "p2", "p3", "s0", "s1", "s2", "s3"} {
+		cl.MustAddMachine(id)
+	}
+	p, err := ha.NewPipeline(ha.PipelineConfig{
+		Cluster:     cl,
+		JobID:       "pjob",
+		Source:      ha.SourceDef{Machine: "m-src", Rate: 4000, Tick: 2 * time.Millisecond},
+		SinkMachine: "m-sink",
+		Subjobs: []ha.SubjobDef{{
+			PEs: []subjob.PESpec{
+				{Name: "pe", NewLogic: func() pe.Logic { return &pe.CounterLogic{Pad: 10} }, Cost: 10 * time.Microsecond},
+			},
+			Mode:        mode,
+			Parallelism: 4,
+			Primaries:   []string{"p0", "p1", "p2", "p3"},
+			Secondaries: []string{"s0", "s1", "s2", "s3"},
+		}},
+		Hybrid:   core.Options{FailStopAfter: 250 * time.Millisecond},
+		TrackIDs: true,
+	})
+	if err != nil {
+		t.Fatalf("NewPipeline: %v", err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		p.Stop()
+		cl.Close()
+	})
+	return cl, p
+}
+
+// TestPartitionedCycleHybrid: with four independently protected
+// partition-instances, a stall on one instance's primary must switch over
+// and roll back that instance only, and a fail-stop on another must
+// promote its standby — while the untouched instances keep the rest of the
+// key space flowing and the job stays exactly-once end to end.
+func TestPartitionedCycleHybrid(t *testing.T) {
+	cl, p := buildPartitionedTestbed(t, ha.ModeHybrid)
+	groups := p.StageInstances(0)
+	time.Sleep(300 * time.Millisecond)
+
+	// Transient stall on instance 1's primary: switchover then rollback.
+	stall(cl, "p1", 120*time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for len(groups[1].HA.Rollbacks()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(groups[1].HA.Rollbacks()) == 0 {
+		t.Fatalf("instance 1 never rolled back (switches=%d)", len(groups[1].HA.Switches()))
+	}
+
+	// Fail-stop on instance 2's primary machine: its standby is promoted.
+	cl.Machine("p2").Crash()
+	deadline = time.Now().Add(3 * time.Second)
+	for len(groups[2].HA.Promotions()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(groups[2].HA.Promotions()) != 1 {
+		t.Fatalf("instance 2 promotions %d, want 1", len(groups[2].HA.Promotions()))
+	}
+	if got := string(groups[2].HA.PrimaryRuntime().Node()); got != "s2" {
+		t.Fatalf("instance 2 primary on %s, want s2", got)
+	}
+
+	// The failures must stay contained: the untouched instances keep their
+	// own primaries and never promote. (A transient switchover+rollback on
+	// a heavily loaded host is tolerated — it self-heals — but a promotion
+	// would mean another instance's failure leaked into this one.)
+	for _, k := range []int{0, 3} {
+		if n := len(groups[k].HA.Promotions()); n != 0 {
+			t.Fatalf("untouched instance %d promoted %d times", k, n)
+		}
+		if got, want := string(groups[k].HA.PrimaryRuntime().Node()), []string{"p0", "", "", "p3"}[k]; got != want {
+			t.Fatalf("untouched instance %d primary moved to %s", k, got)
+		}
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	p.Source().Stop()
+	time.Sleep(400 * time.Millisecond)
+
+	for k, g := range groups {
+		checkTransitionChain(t, g.HA.Transitions(), core.Protected)
+		if k == 1 && len(g.HA.Rollbacks()) == 0 {
+			t.Fatalf("instance 1 lost its rollback record")
+		}
+	}
+	verifyExactlyOnce(t, p, 500)
+}
+
+// TestPartitionedCyclePassive: a stall on one partition-instance migrates
+// only that instance; the others never transition.
+func TestPartitionedCyclePassive(t *testing.T) {
+	cl, p := buildPartitionedTestbed(t, ha.ModePassive)
+	groups := p.StageInstances(0)
+	time.Sleep(300 * time.Millisecond)
+
+	stall(cl, "p1", 400*time.Millisecond)
+	deadline := time.Now().Add(3 * time.Second)
+	for len(groups[1].HA.Migrations()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(groups[1].HA.Migrations()) == 0 {
+		t.Fatal("instance 1 never migrated")
+	}
+	time.Sleep(300 * time.Millisecond)
+	if got := string(groups[1].HA.PrimaryRuntime().Node()); got != "s1" {
+		t.Fatalf("instance 1 primary on %s after migration, want s1", got)
+	}
+	// Containment: the untouched instances keep their own primaries.
+	for _, k := range []int{0, 2, 3} {
+		if got, want := string(groups[k].HA.PrimaryRuntime().Node()), []string{"p0", "", "p2", "p3"}[k]; got != want {
+			t.Fatalf("untouched instance %d primary moved to %s", k, got)
+		}
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	p.Source().Stop()
+	time.Sleep(400 * time.Millisecond)
+
+	// Passive recovery replays from the last checkpoint; deliveries must
+	// still never duplicate at the element level.
+	for id, n := range p.Sink().IDCounts() {
+		if n != 1 {
+			t.Fatalf("element %d delivered %d times after migration", id, n)
+		}
+	}
+}
+
+// TestPartitionedCycleActive: every partition-instance runs a twin; a
+// stall and even a crash of two different primaries must pass without a
+// single transition or lost element.
+func TestPartitionedCycleActive(t *testing.T) {
+	cl, p := buildPartitionedTestbed(t, ha.ModeActive)
+	groups := p.StageInstances(0)
+	time.Sleep(300 * time.Millisecond)
+
+	stall(cl, "p1", 200*time.Millisecond)
+	time.Sleep(200 * time.Millisecond)
+	cl.Machine("p2").Crash()
+	time.Sleep(400 * time.Millisecond)
+
+	p.Source().Stop()
+	time.Sleep(400 * time.Millisecond)
+
+	for k, g := range groups {
+		if st := g.HA.State(); st != core.Protected {
+			t.Fatalf("instance %d state %s, want protected", k, st)
+		}
+		if trs := g.HA.Transitions(); len(trs) != 0 {
+			t.Fatalf("instance %d recorded transitions: %v", k, trs)
+		}
+	}
+	verifyExactlyOnce(t, p, 500)
+}
+
+// TestPartitionedCycleNone: unprotected partition-instances endure stalls
+// (nothing fails permanently, nothing transitions) and the fan-out/fan-in
+// path alone preserves exactly-once.
+func TestPartitionedCycleNone(t *testing.T) {
+	cl, p := buildPartitionedTestbed(t, ha.ModeNone)
+	groups := p.StageInstances(0)
+	time.Sleep(300 * time.Millisecond)
+
+	stall(cl, "p1", 200*time.Millisecond)
+	stall(cl, "p3", 200*time.Millisecond)
+	time.Sleep(300 * time.Millisecond)
+
+	p.Source().Stop()
+	time.Sleep(400 * time.Millisecond)
+
+	for k, g := range groups {
+		if st := g.HA.State(); st != core.Unprotected {
+			t.Fatalf("instance %d state %s, want unprotected", k, st)
+		}
+	}
+	verifyExactlyOnce(t, p, 500)
+}

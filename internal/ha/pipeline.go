@@ -2,6 +2,7 @@ package ha
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"streamha/internal/cluster"
@@ -29,7 +30,47 @@ type SubjobDef struct {
 	Spare string
 	// BatchSize overrides the per-PE batch size.
 	BatchSize int
+
+	// Parallelism enables keyed parallelism: n ≥ 1 deploys n partition
+	// instances of the stage, each a full HA group (own lifecycle, standby
+	// and checkpoints), with upstream elements fanned out by a stable hash
+	// of Element.Key over the stage's partition table. 0 selects the legacy
+	// single unpartitioned instance (no routing table, no input guard).
+	Parallelism int
+	// Partitions is the logical partition count of the stage's routing
+	// table (default queue.DefaultPartitions); meaningful only with
+	// Parallelism ≥ 1. Rescaling moves logical partitions between
+	// instances, so Partitions bounds the granularity of rebalancing.
+	Partitions int
+	// Primaries, Secondaries and Spares place instance k on
+	// Primaries[k] etc.; instances beyond the slice fall back to
+	// Primary/Secondary/Spare. Meaningful only with Parallelism ≥ 1.
+	Primaries   []string
+	Secondaries []string
+	Spares      []string
 }
+
+// partitioned reports whether the stage uses the keyed-parallel path.
+func (d SubjobDef) partitioned() bool { return d.Parallelism >= 1 }
+
+// instances is the stage's initial instance count.
+func (d SubjobDef) instances() int {
+	if d.Parallelism >= 1 {
+		return d.Parallelism
+	}
+	return 1
+}
+
+func pick(list []string, k int, fallback string) string {
+	if k < len(list) && list[k] != "" {
+		return list[k]
+	}
+	return fallback
+}
+
+func (d SubjobDef) primaryOf(k int) string   { return pick(d.Primaries, k, d.Primary) }
+func (d SubjobDef) secondaryOf(k int) string { return pick(d.Secondaries, k, d.Secondary) }
+func (d SubjobDef) spareOf(k int) string     { return pick(d.Spares, k, d.Spare) }
 
 // SourceDef places and shapes the job's source.
 type SourceDef struct {
@@ -66,11 +107,19 @@ type PipelineConfig struct {
 	TrackIDs bool
 }
 
-// Group is one deployed subjob with its HA lifecycle.
+// Group is one deployed subjob instance with its HA lifecycle. A legacy
+// stage has exactly one group; a keyed-parallel stage has one group per
+// partition instance.
 type Group struct {
 	Def  SubjobDef
 	Spec subjob.Spec
 	Mode Mode
+
+	// Stage is the group's stage index in the chain.
+	Stage int
+	// Part is the group's partition-instance index within its stage, or
+	// -1 for a legacy unpartitioned stage.
+	Part int
 
 	// HA is the subjob's lifecycle engine: one state machine regardless of
 	// mode, with the mode plugged in as its StandbyPolicy.
@@ -91,12 +140,13 @@ func (g *Group) LiveOutputs() []*queue.Output {
 // always to the primary, and to a standby copy only while it is running
 // (an AS twin, or a hybrid standby that is currently switched over). A
 // suspended standby's subscription stays inactive — that is the early
-// connection.
+// connection. Part carries the group's partition-instance index so keyed
+// producers filter the subscription to the keys the group serves.
 func (g *Group) ConsumerTargets(logical string) []core.Target {
 	stream := subjob.DataStream(g.Spec.ID, logical)
-	out := []core.Target{{Node: g.HA.PrimaryRuntime().Node(), Stream: stream, Active: true}}
+	out := []core.Target{{Node: g.HA.PrimaryRuntime().Node(), Stream: stream, Active: true, Part: g.Part}}
 	if sec := g.HA.SecondaryRuntime(); sec != nil {
-		out = append(out, core.Target{Node: sec.Node(), Stream: stream, Active: !sec.Suspended()})
+		out = append(out, core.Target{Node: sec.Node(), Stream: stream, Active: !sec.Suspended(), Part: g.Part})
 	}
 	return out
 }
@@ -110,12 +160,74 @@ func (g *Group) SecondaryRuntime() *subjob.Runtime { return g.HA.SecondaryRuntim
 
 // Pipeline is a deployed chain job.
 type Pipeline struct {
-	cfg     PipelineConfig
-	streams []string
-	source  *cluster.Source
-	sink    *cluster.Sink
-	groups  []*Group
+	cfg    PipelineConfig
+	source *cluster.Source
+	sink   *cluster.Sink
+
+	// mu guards stages and linkStreams, which live rescaling mutates.
+	mu          sync.Mutex
+	stages      [][]*Group
+	linkStreams [][]string // linkStreams[i] feeds stage i; last entry feeds the sink
+	linkSplit   []*queue.Partitioner
+	reg         *metrics.Registry
 }
+
+// defID resolves stage i's subjob name.
+func (p *Pipeline) defID(i int) string {
+	if id := p.cfg.Subjobs[i].ID; id != "" {
+		return id
+	}
+	return fmt.Sprintf("sj%d", i)
+}
+
+// specID names stage i's instance k: "<job>/<def>" for a legacy stage,
+// "<job>/<def>.p<k>" for a keyed-parallel one.
+func (p *Pipeline) specID(i, k int) string {
+	if p.cfg.Subjobs[i].partitioned() {
+		return fmt.Sprintf("%s/%s.p%d", p.cfg.JobID, p.defID(i), k)
+	}
+	return p.cfg.JobID + "/" + p.defID(i)
+}
+
+// linkBase names link i's base stream ("<job>/s<i>"); partitioned
+// producers append ".p<k>".
+func (p *Pipeline) linkBase(i int) string {
+	return fmt.Sprintf("%s/s%d", p.cfg.JobID, i)
+}
+
+// outStream names the output stream of stage i's instance k.
+func (p *Pipeline) outStream(i, k int) string {
+	if p.cfg.Subjobs[i].partitioned() {
+		return fmt.Sprintf("%s.p%d", p.linkBase(i+1), k)
+	}
+	return p.linkBase(i + 1)
+}
+
+// ownersFor maps each stream of link i to its producing owner's ID.
+func (p *Pipeline) ownersFor(i int) map[string]string {
+	owners := make(map[string]string, len(p.linkStreams[i]))
+	for k, st := range p.linkStreams[i] {
+		if i == 0 {
+			owners[st] = cluster.SourceOwner
+		} else {
+			owners[st] = p.specID(i-1, k)
+		}
+	}
+	return owners
+}
+
+// downSplit returns the routing table stage i publishes through (the
+// partitioner of the downstream link), or nil.
+func (p *Pipeline) downSplit(i int) *queue.Partitioner {
+	if i+1 < len(p.linkSplit) {
+		return p.linkSplit[i+1]
+	}
+	return nil
+}
+
+// StagePartitioner returns stage i's input routing table, or nil for a
+// legacy stage.
+func (p *Pipeline) StagePartitioner(i int) *queue.Partitioner { return p.linkSplit[i] }
 
 // NewPipeline builds and wires the job; call Start to begin processing.
 func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
@@ -132,10 +244,28 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	p := &Pipeline{cfg: cfg}
 	cl := cfg.Cluster
 
-	// Stream names: s0 from the source, s<i+1> out of subjob i.
-	p.streams = make([]string, len(cfg.Subjobs)+1)
-	for i := range p.streams {
-		p.streams[i] = fmt.Sprintf("%s/s%d", cfg.JobID, i)
+	// Routing tables: one shared Partitioner per keyed-parallel link. Every
+	// producer of the link routes through the same table and every HA copy
+	// of a consumer guards with it, so replicas agree on ownership even
+	// while a rescale is moving partitions.
+	p.linkSplit = make([]*queue.Partitioner, len(cfg.Subjobs))
+	for i, def := range cfg.Subjobs {
+		if def.partitioned() {
+			p.linkSplit[i] = queue.NewPartitioner(def.Partitions, def.instances())
+		}
+	}
+
+	// Stream names: link 0 is the source's stream; link i+1 carries stage
+	// i's outputs — one stream per instance, so each producer keeps its own
+	// sequence space and the downstream dedup stays per (stream, seq).
+	p.linkStreams = make([][]string, len(cfg.Subjobs)+1)
+	p.linkStreams[0] = []string{p.linkBase(0)}
+	for i, def := range cfg.Subjobs {
+		streams := make([]string, def.instances())
+		for k := range streams {
+			streams[k] = p.outStream(i, k)
+		}
+		p.linkStreams[i+1] = streams
 	}
 
 	// Source.
@@ -146,24 +276,30 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	p.source = cluster.NewSource(cluster.SourceConfig{
 		Machine:     srcM,
 		Clock:       cl.Clock(),
-		Stream:      p.streams[0],
+		Stream:      p.linkStreams[0][0],
 		Rate:        cfg.Source.Rate,
 		Tick:        cfg.Source.Tick,
 		BurstOn:     cfg.Source.BurstOn,
 		BurstOff:    cfg.Source.BurstOff,
 		BurstFactor: cfg.Source.BurstFactor,
 	})
+	if p.linkSplit[0] != nil {
+		p.source.Out().SetPartitioner(p.linkSplit[0])
+	}
 
 	// Copies (phase A): create every runtime before any wiring so that
 	// standby-to-standby early connections can be created uniformly. The
 	// lifecycles are constructed here too — their wiring closures resolve
 	// lazily — but armed only in Start.
+	p.stages = make([][]*Group, len(cfg.Subjobs))
 	for i, def := range cfg.Subjobs {
-		g, err := p.buildGroup(i, def)
-		if err != nil {
-			return nil, err
+		for k := 0; k < def.instances(); k++ {
+			g, err := p.buildGroup(i, k, def)
+			if err != nil {
+				return nil, err
+			}
+			p.stages[i] = append(p.stages[i], g)
 		}
-		p.groups = append(p.groups, g)
 	}
 
 	// Sink.
@@ -171,114 +307,151 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	if sinkM == nil {
 		return nil, fmt.Errorf("ha: unknown sink machine %q", cfg.SinkMachine)
 	}
-	last := p.streams[len(p.streams)-1]
+	lastLink := len(p.linkStreams) - 1
 	p.sink = cluster.NewSink(cluster.SinkConfig{
 		Machine:     sinkM,
 		Clock:       cl.Clock(),
 		ID:          cfg.JobID + "/sink",
-		InStreams:   []string{last},
-		Owners:      map[string]string{last: p.groups[len(p.groups)-1].Spec.ID},
+		InStreams:   append([]string(nil), p.linkStreams[lastLink]...),
+		Owners:      p.ownersFor(lastLink),
 		AckInterval: cfg.AckInterval,
 		TrackIDs:    cfg.TrackIDs,
 	})
 
 	// Wiring (phase B): subscribe every consumer copy of link i to every
 	// producer copy of link i, with activity per the consumer's HA state.
-	for i := range p.groups {
+	// Keyed consumers subscribe with their partition-instance index so the
+	// producer's router filters their feed.
+	for i := range p.stages {
 		for _, out := range p.producerOutputs(i) {
-			for _, t := range p.groups[i].ConsumerTargets(p.streams[i]) {
-				out.Subscribe(t.Node, t.Stream, t.Active)
+			for _, g := range p.stages[i] {
+				for _, t := range g.ConsumerTargets(out.StreamID) {
+					out.SubscribePart(t.Node, t.Stream, t.Active, t.Part)
+				}
 			}
 		}
 	}
-	for _, out := range p.producerOutputs(len(p.groups)) {
-		out.Subscribe(p.sink.Node(), subjob.DataStream(p.sink.ID(), last), true)
+	for _, out := range p.producerOutputs(len(p.stages)) {
+		out.SubscribePart(p.sink.Node(), subjob.DataStream(p.sink.ID(), out.StreamID), true, -1)
 	}
 	return p, nil
 }
 
-func (p *Pipeline) buildGroup(i int, def SubjobDef) (*Group, error) {
+// buildGroup deploys stage i's instance k: primary (and policy-dictated
+// standby) runtimes with partition plumbing installed before start, plus
+// the lifecycle that protects them.
+func (p *Pipeline) buildGroup(i, k int, def SubjobDef) (*Group, error) {
 	cl := p.cfg.Cluster
-	if def.ID == "" {
-		def.ID = fmt.Sprintf("sj%d", i)
-	}
-	owner := cluster.SourceOwner
-	if i > 0 {
-		owner = p.cfg.JobID + "/" + p.cfg.Subjobs[i-1].ID
-		if p.cfg.Subjobs[i-1].ID == "" {
-			owner = fmt.Sprintf("%s/sj%d", p.cfg.JobID, i-1)
-		}
-	}
+	def.ID = p.defID(i)
 	spec := subjob.Spec{
 		JobID:     p.cfg.JobID,
-		ID:        p.cfg.JobID + "/" + def.ID,
-		InStreams: []string{p.streams[i]},
-		Owners:    map[string]string{p.streams[i]: owner},
-		OutStream: p.streams[i+1],
+		ID:        p.specID(i, k),
+		InStreams: append([]string(nil), p.linkStreams[i]...),
+		Owners:    p.ownersFor(i),
+		OutStream: p.outStream(i, k),
 		PEs:       def.PEs,
 		BatchSize: def.BatchSize,
 	}
-	priM := cl.Machine(def.Primary)
+	part := -1
+	if def.partitioned() {
+		part = k
+	}
+	split := p.linkSplit[i]
+	down := p.downSplit(i)
+
+	plumb := func(rt *subjob.Runtime) {
+		if split != nil {
+			rt.SetInputPartition(split, k)
+		}
+		if down != nil {
+			rt.Out().SetPartitioner(down)
+		}
+	}
+
+	priM := cl.Machine(def.primaryOf(k))
 	if priM == nil {
-		return nil, fmt.Errorf("ha: subjob %s: unknown primary machine %q", def.ID, def.Primary)
+		return nil, fmt.Errorf("ha: subjob %s: unknown primary machine %q", spec.ID, def.primaryOf(k))
 	}
 	primary, err := subjob.New(spec, priM, false)
 	if err != nil {
 		return nil, err
 	}
+	plumb(primary)
 	primary.Start()
 
 	pol := policyFor(def.Mode, p.cfg.Hybrid, p.cfg.PS, p.cfg.AckInterval)
-	if pol.NeedsStandbyMachine() && cl.Machine(def.Secondary) == nil {
-		return nil, fmt.Errorf("ha: subjob %s: unknown secondary machine %q", def.ID, def.Secondary)
+	secM := cl.Machine(def.secondaryOf(k))
+	if pol.NeedsStandbyMachine() && secM == nil {
+		return nil, fmt.Errorf("ha: subjob %s: unknown secondary machine %q", spec.ID, def.secondaryOf(k))
 	}
 	var secondary *subjob.Runtime
 	if create, suspended := pol.PreDeploy(); create {
-		secondary, err = subjob.New(spec, cl.Machine(def.Secondary), suspended)
+		secondary, err = subjob.New(spec, secM, suspended)
 		if err != nil {
 			return nil, err
 		}
+		plumb(secondary)
 		secondary.Start()
 	}
 
-	g := &Group{Def: def, Spec: spec, Mode: def.Mode}
+	g := &Group{Def: def, Spec: spec, Mode: def.Mode, Stage: i, Part: part}
 	g.HA = core.NewLifecycle(core.LifecycleConfig{
 		Spec:             spec,
 		Clock:            cl.Clock(),
 		Primary:          primary,
 		Secondary:        secondary,
-		SecondaryMachine: cl.Machine(def.Secondary),
-		SpareMachine:     cl.Machine(def.Spare), // nil if unset
-		Wiring:           p.wiringFor(i),
+		SecondaryMachine: secM,
+		SpareMachine:     cl.Machine(def.spareOf(k)), // nil if unset
+		Wiring:           p.wiringFor(i, g),
 		Policy:           pol,
 	})
 	return g, nil
 }
 
-// producerOutputs returns the output queues feeding stream index i
-// (i == len(groups) means the sink's input stream).
+// producerOutputs returns the output queues feeding link i
+// (i == len(stages) means the sink's input link).
 func (p *Pipeline) producerOutputs(i int) []*queue.Output {
 	if i == 0 {
 		return []*queue.Output{p.source.Out()}
 	}
-	return p.groups[i-1].LiveOutputs()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var outs []*queue.Output
+	for _, g := range p.stages[i-1] {
+		outs = append(outs, g.LiveOutputs()...)
+	}
+	return outs
 }
 
-// wiringFor builds the dynamic wiring closures for group i's lifecycle.
-func (p *Pipeline) wiringFor(i int) core.Wiring {
+// wiringFor builds the dynamic wiring closures for group g of stage i.
+func (p *Pipeline) wiringFor(i int, g *Group) core.Wiring {
 	return core.Wiring{
 		UpstreamOutputs: func() []*queue.Output { return p.producerOutputs(i) },
 		DownstreamTargets: func() []core.Target {
-			if i == len(p.groups)-1 {
-				last := p.streams[len(p.streams)-1]
+			p.mu.Lock()
+			lastStage := i == len(p.stages)-1
+			var consumers []*Group
+			if !lastStage {
+				consumers = append(consumers, p.stages[i+1]...)
+			}
+			p.mu.Unlock()
+			if lastStage {
 				return []core.Target{{
 					Node:   p.sink.Node(),
-					Stream: subjob.DataStream(p.sink.ID(), last),
+					Stream: subjob.DataStream(p.sink.ID(), g.Spec.OutStream),
 					Active: true,
+					Part:   -1,
 				}}
 			}
-			return p.groups[i+1].ConsumerTargets(p.streams[i+1])
+			var targets []core.Target
+			for _, cg := range consumers {
+				targets = append(targets, cg.ConsumerTargets(g.Spec.OutStream)...)
+			}
+			return targets
 		},
+		OutPartitioner: p.downSplit(i),
+		InPartitioner:  p.linkSplit[i],
+		Part:           g.Part,
 	}
 }
 
@@ -286,7 +459,7 @@ func (p *Pipeline) wiringFor(i int) core.Wiring {
 // so no data is published before its consumers are wired.
 func (p *Pipeline) Start() error {
 	p.sink.Start()
-	for _, g := range p.groups {
+	for _, g := range p.AllGroups() {
 		if err := g.HA.Start(); err != nil {
 			return err
 		}
@@ -299,7 +472,7 @@ func (p *Pipeline) Start() error {
 // copies and their HA apparatus) and the sink.
 func (p *Pipeline) Stop() {
 	p.source.Stop()
-	for _, g := range p.groups {
+	for _, g := range p.AllGroups() {
 		g.HA.Stop()
 	}
 	p.sink.Stop()
@@ -311,14 +484,65 @@ func (p *Pipeline) Source() *cluster.Source { return p.source }
 // Sink returns the job's sink.
 func (p *Pipeline) Sink() *cluster.Sink { return p.sink }
 
-// Groups returns the deployed subjobs in chain order.
-func (p *Pipeline) Groups() []*Group { return p.groups }
+// Groups returns one group per stage in chain order: the sole group of a
+// legacy stage, instance 0 of a keyed-parallel one. Use StageInstances for
+// every instance.
+func (p *Pipeline) Groups() []*Group {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Group, len(p.stages))
+	for i, st := range p.stages {
+		out[i] = st[0]
+	}
+	return out
+}
 
-// Group returns the i-th subjob group.
-func (p *Pipeline) Group(i int) *Group { return p.groups[i] }
+// Group returns stage i's first instance.
+func (p *Pipeline) Group(i int) *Group {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stages[i][0]
+}
 
-// Streams returns the logical stream names, source stream first.
-func (p *Pipeline) Streams() []string { return append([]string(nil), p.streams...) }
+// StageInstances returns every instance of stage i in partition order.
+func (p *Pipeline) StageInstances(i int) []*Group {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*Group(nil), p.stages[i]...)
+}
+
+// AllGroups returns every group of every stage, stage-major.
+func (p *Pipeline) AllGroups() []*Group {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []*Group
+	for _, st := range p.stages {
+		out = append(out, st...)
+	}
+	return out
+}
+
+// Stages returns the number of stages in the chain.
+func (p *Pipeline) Stages() int { return len(p.cfg.Subjobs) }
+
+// Streams returns the base link stream names, source stream first. A
+// keyed-parallel stage's instances suffix ".p<k>" to their link's base
+// name; LinkStreams returns the expanded per-instance list.
+func (p *Pipeline) Streams() []string {
+	out := make([]string, len(p.cfg.Subjobs)+1)
+	for i := range out {
+		out[i] = p.linkBase(i)
+	}
+	return out
+}
+
+// LinkStreams returns the stream names feeding link i
+// (i == Stages() means the sink's input link).
+func (p *Pipeline) LinkStreams(i int) []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.linkStreams[i]...)
+}
 
 // RegisterMetrics registers every component of the pipeline in reg:
 // transport traffic, source and sink state, and — per group — the current
@@ -326,11 +550,24 @@ func (p *Pipeline) Streams() []string { return append([]string(nil), p.streams..
 // detector, checkpoint manager and store. Sources are closures that
 // resolve the group's *current* components at snapshot time, so the
 // registry keeps tracking across switchover, rollback and migration.
+// Keyed-parallel instances register under their ".p<k>" spec IDs, giving
+// per-partition delay, queue-depth and checkpoint series; groups added by
+// a later ScaleOut self-register in the same registry.
 func (p *Pipeline) RegisterMetrics(reg *metrics.Registry) {
 	reg.Register("transport", func() any { return p.cfg.Cluster.Stats() })
 	reg.Register("source", func() any { return p.source.Stats() })
 	p.sink.RegisterMetrics(reg)
-	for _, g := range p.groups {
+	for i, split := range p.linkSplit {
+		if split == nil {
+			continue
+		}
+		s := split
+		reg.Register("partition/"+p.linkBase(i), func() any { return s.Stats() })
+	}
+	p.mu.Lock()
+	p.reg = reg
+	p.mu.Unlock()
+	for _, g := range p.AllGroups() {
 		registerGroupMetrics(reg, g)
 	}
 }

@@ -329,7 +329,7 @@ func (t *Topology) buildGroup(def TopologySubjob) (*Group, error) {
 		Spare:     def.Spare,
 		BatchSize: def.BatchSize,
 	}
-	g := &Group{Def: sjDef, Spec: spec, Mode: def.Mode}
+	g := &Group{Def: sjDef, Spec: spec, Mode: def.Mode, Stage: -1, Part: -1}
 	g.HA = core.NewLifecycle(core.LifecycleConfig{
 		Spec:             spec,
 		Clock:            cl.Clock(),
@@ -382,6 +382,7 @@ func (t *Topology) wiringFor(def TopologySubjob) core.Wiring {
 							Node:   sink.Node(),
 							Stream: subjob.DataStream(sink.ID(), t.streamOf(in)),
 							Active: true,
+							Part:   -1,
 						})
 					}
 				}

@@ -115,6 +115,7 @@ func (l *CounterLogic) Process(e element.Element, emit func(element.Element)) {
 	}
 	emit(element.Element{
 		ID:      element.DeriveID(e.ID, 0),
+		Key:     e.Key,
 		Origin:  e.Origin,
 		Payload: e.Payload + 1,
 	})
@@ -268,7 +269,7 @@ func (l *FilterLogic) Process(e element.Element, emit func(element.Element)) {
 	if l.Modulus >= 2 && e.Payload%l.Modulus == 0 {
 		return
 	}
-	emit(element.Element{ID: element.DeriveID(e.ID, 0), Origin: e.Origin, Payload: e.Payload})
+	emit(element.Element{ID: element.DeriveID(e.ID, 0), Key: e.Key, Origin: e.Origin, Payload: e.Payload})
 }
 
 // Snapshot implements Logic.
@@ -298,6 +299,7 @@ func (l *SplitLogic) Process(e element.Element, emit func(element.Element)) {
 	for i := 0; i < n; i++ {
 		emit(element.Element{
 			ID:      element.DeriveID(e.ID, i),
+			Key:     e.Key,
 			Origin:  e.Origin,
 			Payload: e.Payload*int64(n) + int64(i),
 		})
@@ -342,7 +344,7 @@ func (l *WindowSumLogic) Process(e element.Element, emit func(element.Element)) 
 	if l.filled < w {
 		return
 	}
-	out := element.Element{ID: element.DeriveID(l.lastID, 0), Origin: e.Origin, Payload: l.acc}
+	out := element.Element{ID: element.DeriveID(l.lastID, 0), Key: e.Key, Origin: e.Origin, Payload: l.acc}
 	l.filled = 0
 	l.acc = 0
 	emit(out)

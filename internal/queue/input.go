@@ -32,9 +32,16 @@ type Input struct {
 	mu       sync.Mutex
 	buf      []In
 	accepted map[string]uint64 // highest accepted seq per stream
-	gaps     int
-	dups     int
-	ready    chan struct{}
+	// split/part form the consumer-side partition guard of a keyed-parallel
+	// instance: elements whose key routes elsewhere in the live table are
+	// dropped (but still advance the dedup floor). The guard consults the
+	// shared routing table at push time, so an element that raced a
+	// rescaling table flip is never processed by two instances.
+	split *Partitioner
+	part  int
+	gaps  int
+	dups  int
+	ready chan struct{}
 }
 
 // NewInput returns an empty input queue accepting the given streams.
@@ -58,6 +65,41 @@ func (q *Input) AddStream(stream string) {
 	}
 }
 
+// SetPartition installs the partition guard: the queue belongs to
+// partition-instance part of the stage routed by split, and elements whose
+// key routes to a sibling instance are accepted (for dedup purposes) but
+// not queued. A nil split removes the guard.
+func (q *Input) SetPartition(split *Partitioner, part int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.split = split
+	q.part = part
+}
+
+// Repartition re-filters the queued elements against the live routing
+// table. A rescaling cutover calls it on the donor instance right after the
+// table flip, so elements of moved partitions that were already buffered
+// are discarded here and processed only by the instance they moved to.
+func (q *Input) Repartition() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.split == nil {
+		return
+	}
+	kept := q.buf[:0]
+	for _, in := range q.buf {
+		if q.split.Instance(in.Elem.Key) == q.part {
+			kept = append(kept, in)
+		}
+	}
+	q.buf = kept
+}
+
+// mineLocked reports whether e routes to this queue's partition instance.
+func (q *Input) mineLocked(e element.Element) bool {
+	return q.split == nil || q.split.Instance(e.Key) == q.part
+}
+
 // Push offers a batch of elements that arrived on stream. Duplicates
 // (seq <= accepted) are dropped; a gap (seq > accepted+1) is counted and
 // dropped. Elements on unknown streams are ignored.
@@ -75,12 +117,52 @@ func (q *Input) Push(stream string, elems []element.Element) {
 			q.dups++
 		case e.Seq == last+1:
 			q.accepted[stream] = e.Seq
+			if !q.mineLocked(e) {
+				continue // foreign partition: covered, not queued
+			}
 			q.buf = append(q.buf, In{Stream: stream, Elem: e})
 			appended = true
 		default:
 			q.gaps++
 		}
 	}
+	q.mu.Unlock()
+	if appended {
+		q.signal()
+	}
+}
+
+// PushCovered offers a partition-filtered batch together with the covered
+// watermark: the highest sequence number of the unfiltered prefix the batch
+// was cut from (transport.Message.Seq on partitioned sends). Sequence
+// numbers inside the batch rise but may skip the elements routed to sibling
+// instances, so contiguity is not required; after queuing, the stream's
+// dedup floor is raised to covered. Replayed prefixes (seq <= accepted) are
+// dropped as duplicates exactly like in Push.
+func (q *Input) PushCovered(stream string, elems []element.Element, covered uint64) {
+	q.mu.Lock()
+	last, ok := q.accepted[stream]
+	if !ok {
+		q.mu.Unlock()
+		return
+	}
+	appended := false
+	for _, e := range elems {
+		if e.Seq <= last {
+			q.dups++
+			continue
+		}
+		last = e.Seq
+		if !q.mineLocked(e) {
+			continue
+		}
+		q.buf = append(q.buf, In{Stream: stream, Elem: e})
+		appended = true
+	}
+	if covered > last {
+		last = covered
+	}
+	q.accepted[stream] = last
 	q.mu.Unlock()
 	if appended {
 		q.signal()

@@ -48,6 +48,12 @@ type Subscriber struct {
 	// inactive subscriptions ("early connection", isActive=false in the
 	// paper) so that switchover is a flag flip.
 	Active bool
+	// part is the partition-instance index this subscriber consumes, or -1
+	// for an unfiltered subscriber. Partitioned sends carry only the
+	// elements routed to part, plus a covered-sequence watermark (see
+	// Publish), so the consumer's dedup floor still advances past the
+	// elements that went to sibling instances.
+	part int
 
 	acked uint64 // guarded by Output.mu
 
@@ -81,6 +87,10 @@ type Output struct {
 	// under the lock and iterates it outside the lock, so the hot path
 	// neither allocates nor holds the lock during sends.
 	active []*Subscriber
+	// router is the keyed-parallel routing table shared by every producer
+	// copy feeding a partitioned stage; nil when no subscriber filters by
+	// partition. Partition-filtered subscribers consult it per batch.
+	router *Partitioner
 	onTrim func()
 }
 
@@ -117,20 +127,57 @@ func (o *Output) rebuildActiveLocked() {
 	o.active = active
 }
 
+// SetPartitioner installs the keyed-parallel routing table consulted by
+// partition-filtered subscribers. Every copy of the producing subjob must
+// share the same Partitioner so replicas route identically.
+func (o *Output) SetPartitioner(pt *Partitioner) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.router = pt
+}
+
+// Partitioner returns the installed routing table, or nil.
+func (o *Output) Partitioner() *Partitioner {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.router
+}
+
 // Subscribe adds a downstream copy. If active, data published from now on
 // flows to it; its acknowledgment position starts at the current trim
 // floor, which is exactly the data a checkpoint-restored copy already has.
 func (o *Output) Subscribe(node transport.NodeID, stream string, active bool) {
+	o.SubscribePart(node, stream, active, -1)
+}
+
+// SubscribePart adds a downstream copy that consumes only the elements
+// routed to partition-instance part (-1 subscribes unfiltered, like
+// Subscribe). Partitioned sends carry a covered-sequence watermark so the
+// consumer's dedup floor advances past sibling instances' elements.
+func (o *Output) SubscribePart(node transport.NodeID, stream string, active bool, part int) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.subs[node] = &Subscriber{
 		Node:   node,
 		Stream: stream,
 		Active: active,
+		part:   part,
 		acked:  o.floor,
 		sent:   o.floor,
 	}
 	o.rebuildActiveLocked()
+}
+
+// PartOf returns the partition-instance index of the subscriber on node,
+// or -1 when the subscriber is unfiltered or unknown. HA policies use it to
+// give a standby the same partition view as the copy it protects.
+func (o *Output) PartOf(node transport.NodeID) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if s, ok := o.subs[node]; ok {
+		return s.part
+	}
+	return -1
 }
 
 // Unsubscribe removes the downstream copy on node.
@@ -172,8 +219,12 @@ func (o *Output) Activate(node transport.NodeID, active bool) {
 func (o *Output) ResetSubscriber(oldNode, newNode transport.NodeID, stream string) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	part := -1
+	if old, ok := o.subs[oldNode]; ok {
+		part = old.part // the recovered copy serves the same partition
+	}
 	delete(o.subs, oldNode)
-	s := &Subscriber{Node: newNode, Stream: stream, Active: true, acked: o.floor, sent: o.floor}
+	s := &Subscriber{Node: newNode, Stream: stream, Active: true, part: part, acked: o.floor, sent: o.floor}
 	o.subs[newNode] = s
 	o.rebuildActiveLocked()
 	o.replayLocked(s, false)
@@ -210,11 +261,38 @@ func (o *Output) replayLocked(s *Subscriber, force bool) {
 	}
 	batch := o.buf.slice(int(after - o.floor))
 	s.sent = head
+	covered := uint64(0)
+	if s.part >= 0 {
+		covered = head
+		if o.router != nil {
+			batch = filterPart(batch, o.router, s.part)
+		}
+		if len(batch) == 0 {
+			// Nothing of this subscriber's partitions is retained; the send
+			// watermark advanced, and the next non-empty covered send will
+			// carry the dedup floor forward.
+			return
+		}
+	}
 	o.send(s.Node, transport.Message{
 		Kind:     transport.KindData,
 		Stream:   s.Stream,
+		Seq:      covered,
 		Elements: batch,
 	})
+}
+
+// filterPart copies the elements of batch routed to partition-instance part
+// into a fresh slice. The copy is required: filtered sends cannot share the
+// published batch across subscribers the way unfiltered fan-out does.
+func filterPart(batch []element.Element, router *Partitioner, part int) []element.Element {
+	var out []element.Element
+	for _, e := range batch {
+		if router.Instance(e.Key) == part {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // Publish appends newly produced elements, assigns their sequence numbers,
@@ -235,6 +313,7 @@ func (o *Output) Publish(elems []element.Element) []element.Element {
 	}
 	o.buf.append(elems)
 	targets := o.active
+	router := o.router
 	o.mu.Unlock()
 
 	first := elems[0].Seq
@@ -254,10 +333,28 @@ func (o *Output) Publish(elems []element.Element) []element.Element {
 		if s.sent >= first {
 			out = elems[s.sent-first+1:]
 		}
+		covered := uint64(0)
+		if s.part >= 0 {
+			// Partition-filtered fan-out: send only this instance's elements,
+			// stamped with the covered watermark (the last sequence of the
+			// whole prefix), so the consumer's dedup floor advances over the
+			// elements that went to sibling instances. An all-foreign batch
+			// is skipped entirely — the watermark rides the next send.
+			covered = last
+			if router != nil {
+				out = filterPart(out, router, s.part)
+			}
+			if len(out) == 0 {
+				s.sent = last
+				s.sendMu.Unlock()
+				continue
+			}
+		}
 		s.sent = last
 		o.send(s.Node, transport.Message{
 			Kind:     transport.KindData,
 			Stream:   s.Stream,
+			Seq:      covered,
 			Elements: out,
 		})
 		s.sendMu.Unlock()

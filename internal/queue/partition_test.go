@@ -1,0 +1,216 @@
+package queue
+
+import (
+	"testing"
+
+	"streamha/internal/element"
+)
+
+// keysRoutedTo returns count distinct keys whose partitions currently map
+// to instance under pt.
+func keysRoutedTo(pt *Partitioner, instance, count int) []uint64 {
+	var out []uint64
+	for k := uint64(1); len(out) < count; k++ {
+		if pt.Instance(k) == instance {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// TestPartitionStability pins the property rescaling correctness rests on:
+// a key's logical partition is a pure function of (key, P). It must not
+// change across process restarts (fresh Partitioner), nor across instance
+// count changes, and a Move must only re-route the moved partitions.
+func TestPartitionStability(t *testing.T) {
+	const parts = 256
+	a := NewPartitioner(parts, 2)
+	b := NewPartitioner(parts, 2) // a "restart": same config, fresh table
+
+	for k := uint64(0); k < 10000; k++ {
+		if ap, bp := a.PartitionOf(k), b.PartitionOf(k); ap != bp {
+			t.Fatalf("key %d: partition %d after restart, %d before", k, bp, ap)
+		}
+		if ap, ep := a.PartitionOf(k), element.PartitionOf(k, parts); ap != ep {
+			t.Fatalf("key %d: Partitioner says %d, element.PartitionOf says %d", k, ap, ep)
+		}
+		// The partition is stable in P even when the instance count differs.
+		if cp := NewPartitioner(parts, 5).PartitionOf(k); cp != a.PartitionOf(k) {
+			t.Fatalf("key %d: partition changed with instance count", k)
+		}
+	}
+
+	// Rescale 2 -> 3: move half of instance 0's partitions. Keys in unmoved
+	// partitions must keep their old instance; keys in moved partitions must
+	// all land on the new instance.
+	before := make(map[uint64]int)
+	for k := uint64(0); k < 10000; k++ {
+		before[k] = a.Instance(k)
+	}
+	owned := a.OwnedBy(0)
+	moved := owned[:len(owned)/2]
+	movedSet := make(map[int]bool, len(moved))
+	for _, p := range moved {
+		movedSet[p] = true
+	}
+	if err := a.Move(moved, 2); err != nil {
+		t.Fatalf("Move: %v", err)
+	}
+	if a.Instances() != 3 {
+		t.Fatalf("instances %d after growing move, want 3", a.Instances())
+	}
+	for k := uint64(0); k < 10000; k++ {
+		got := a.Instance(k)
+		if movedSet[a.PartitionOf(k)] {
+			if got != 2 {
+				t.Fatalf("key %d in moved partition routed to %d, want 2", k, got)
+			}
+		} else if got != before[k] {
+			t.Fatalf("key %d in unmoved partition re-routed %d -> %d", k, before[k], got)
+		}
+	}
+}
+
+// TestPartitionerMoveBounds pins Move's validation: no skipping instance
+// indices, no unknown partitions.
+func TestPartitionerMoveBounds(t *testing.T) {
+	pt := NewPartitioner(16, 2)
+	if err := pt.Move([]int{0}, 3); err == nil {
+		t.Fatal("Move to instance 3 of 2 accepted (index skipped)")
+	}
+	if err := pt.Move([]int{16}, 1); err == nil {
+		t.Fatal("Move of out-of-range partition accepted")
+	}
+	if err := pt.Move([]int{0, 1}, 2); err != nil {
+		t.Fatalf("growing Move rejected: %v", err)
+	}
+}
+
+// TestPushCoveredPerStreamWatermark is the regression test for the merge
+// side of keyed parallelism: the dedup watermark must be tracked per
+// (stream, seq) — each partitioned producer instance is its own stream —
+// not as one global sequence floor. A naive global watermark would see
+// stream A reach seq 40 and then drop stream B's low-numbered elements as
+// duplicates; here both streams must deliver everything.
+func TestPushCoveredPerStreamWatermark(t *testing.T) {
+	q := NewInput("a", "b")
+
+	elemsAt := func(seqs ...uint64) []element.Element {
+		out := make([]element.Element, len(seqs))
+		for i, s := range seqs {
+			out[i] = element.Element{ID: s, Seq: s}
+		}
+		return out
+	}
+
+	// Stream A races ahead.
+	q.PushCovered("a", elemsAt(1, 2, 3), 40)
+	if got := q.Accepted("a"); got != 40 {
+		t.Fatalf("accepted(a) = %d, want covered watermark 40", got)
+	}
+	// Stream B starts from 1. Under a global watermark these would all be
+	// "duplicates" of A's floor; per-stream they must queue.
+	q.PushCovered("b", elemsAt(1, 2), 2)
+	if got := q.Accepted("b"); got != 2 {
+		t.Fatalf("accepted(b) = %d, want 2", got)
+	}
+	if got := q.Len(); got != 5 {
+		t.Fatalf("queued %d elements, want 5 (global watermark ate stream b?)", got)
+	}
+	if dups, gaps := q.Drops(); dups != 0 || gaps != 0 {
+		t.Fatalf("drops dups=%d gaps=%d, want none", dups, gaps)
+	}
+}
+
+// TestPushCoveredFilteredGaps pins the covered-sequence contract of
+// partitioned sends: batch seqs rise but skip the elements routed to
+// sibling instances, so in-batch gaps are not protocol gaps, and the
+// covered watermark advances the floor past the skipped tail even when the
+// filtered batch is empty.
+func TestPushCoveredFilteredGaps(t *testing.T) {
+	q := NewInput("s")
+
+	// Seqs 2, 5, 6 went to a sibling instance; 1, 3, 4, 7 are ours,
+	// covered says the producer's prefix reaches 8.
+	batch := []element.Element{
+		{ID: 1, Seq: 1}, {ID: 3, Seq: 3}, {ID: 4, Seq: 4}, {ID: 7, Seq: 7},
+	}
+	q.PushCovered("s", batch, 8)
+	if got := q.Len(); got != 4 {
+		t.Fatalf("queued %d, want 4", got)
+	}
+	if got := q.Accepted("s"); got != 8 {
+		t.Fatalf("accepted = %d, want 8", got)
+	}
+	if _, gaps := q.Drops(); gaps != 0 {
+		t.Fatalf("in-batch partition gaps counted as protocol gaps: %d", gaps)
+	}
+
+	// A replayed prefix is recognized as duplicate, not re-queued.
+	q.PushCovered("s", batch, 8)
+	if got := q.Len(); got != 4 {
+		t.Fatalf("replay re-queued: len %d, want 4", got)
+	}
+	if dups, _ := q.Drops(); dups != 4 {
+		t.Fatalf("replay counted %d dups, want 4", dups)
+	}
+
+	// An all-filtered send (every element went elsewhere) still advances
+	// the floor, so a later replay starting below it is deduped.
+	q.PushCovered("s", nil, 20)
+	if got := q.Accepted("s"); got != 20 {
+		t.Fatalf("accepted = %d after empty covered send, want 20", got)
+	}
+
+	// Fresh data beyond the floor flows normally.
+	q.PushCovered("s", []element.Element{{ID: 21, Seq: 21}}, 21)
+	if got := q.Accepted("s"); got != 21 {
+		t.Fatalf("accepted = %d, want 21", got)
+	}
+	if got := q.Len(); got != 5 {
+		t.Fatalf("queued %d, want 5", got)
+	}
+}
+
+// TestInputPartitionGuard: the consumer-side guard drops foreign-partition
+// elements while still covering them, and Repartition purges buffered
+// elements of partitions that moved away mid-flight.
+func TestInputPartitionGuard(t *testing.T) {
+	pt := NewPartitioner(16, 2)
+	q := NewInput("s")
+	q.SetPartition(pt, 0)
+
+	// Two owned keys in distinct partitions, so moving one partition later
+	// purges exactly one of them.
+	var mine []uint64
+	for k := uint64(1); len(mine) < 2; k++ {
+		if pt.Instance(k) == 0 && (len(mine) == 0 || pt.PartitionOf(k) != pt.PartitionOf(mine[0])) {
+			mine = append(mine, k)
+		}
+	}
+	theirs := keysRoutedTo(pt, 1, 1)
+	batch := []element.Element{
+		{ID: 1, Key: mine[0], Seq: 1},
+		{ID: 2, Key: theirs[0], Seq: 2},
+		{ID: 3, Key: mine[1], Seq: 3},
+	}
+	q.PushCovered("s", batch, 3)
+	if got := q.Len(); got != 2 {
+		t.Fatalf("guard queued %d, want 2 (foreign element kept?)", got)
+	}
+	if got := q.Accepted("s"); got != 3 {
+		t.Fatalf("accepted = %d, want 3 (foreign element must still be covered)", got)
+	}
+
+	// The buffered element whose partition moves away must be purged by
+	// Repartition — its new owner will process it instead.
+	movedPart := pt.PartitionOf(mine[1])
+	if err := pt.Move([]int{movedPart}, 1); err != nil {
+		t.Fatalf("Move: %v", err)
+	}
+	q.Repartition()
+	left := q.TryPop(10)
+	if len(left) != 1 || left[0].Elem.Key != mine[0] {
+		t.Fatalf("after Repartition kept %v, want only key %d", left, mine[0])
+	}
+}

@@ -167,7 +167,13 @@ func (r *Runtime) Start() {
 		logical := s
 		r.m.RegisterStream(DataStream(r.spec.ID, logical), func(from transport.NodeID, msg transport.Message) {
 			r.noteSender(logical, from)
-			r.in.Push(logical, msg.Elements)
+			if msg.Seq > 0 {
+				// Partition-filtered send: Seq is the covered watermark (the
+				// sequence the batch was filtered up to), not a per-element seq.
+				r.in.PushCovered(logical, msg.Elements, msg.Seq)
+			} else {
+				r.in.Push(logical, msg.Elements)
+			}
 		})
 	}
 	r.m.RegisterStream(AckStream(r.spec.ID, r.spec.OutStream), func(from transport.NodeID, msg transport.Message) {
@@ -461,6 +467,76 @@ func (r *Runtime) ApplyDelta(d *Delta) error {
 			}
 			if err := dl.ApplyDelta(d.PEDeltas[i]); err != nil {
 				return fmt.Errorf("subjob %s: apply PE %d delta: %w", r.spec.ID, i, err)
+			}
+		}
+	}
+	for i, pp := range r.pipes {
+		if d.PipeSet[i] {
+			pp.Restore(d.Pipes[i])
+		}
+	}
+	if d.Consumed != nil {
+		r.pes[0].SetConsumedPositions(d.Consumed)
+		r.in.SetAccepted(d.Consumed)
+	}
+	return nil
+}
+
+// SetInputPartition installs the input queue's partition guard: this copy
+// serves partition-instance part of the stage routed by split.
+func (r *Runtime) SetInputPartition(split *queue.Partitioner, part int) {
+	r.in.SetPartition(split, part)
+}
+
+// AdoptSnapshot seeds this copy from a *donor instance's* full snapshot
+// during a live rescaling: PE states, pipe contents and consumption
+// positions are taken over, while the output queue and the copy's own
+// identity are deliberately left alone — the adopting instance publishes a
+// fresh stream of its own and must not inherit the donor's sequence space.
+// Unlike Restore, the snapshot's SubjobID is allowed to differ. The copy
+// must be suspended.
+func (r *Runtime) AdoptSnapshot(s *Snapshot) error {
+	if len(s.PEStates) != len(r.pes) || len(s.Pipes) != len(r.pipes) {
+		return fmt.Errorf("subjob %s: adopted snapshot shape mismatch", r.spec.ID)
+	}
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
+	for i, p := range r.pes {
+		if err := p.Logic().Restore(s.PEStates[i]); err != nil {
+			return fmt.Errorf("subjob %s: adopt PE %d: %w", r.spec.ID, i, err)
+		}
+	}
+	for i, pp := range r.pipes {
+		pp.Restore(s.Pipes[i])
+	}
+	r.pes[0].SetConsumedPositions(s.Consumed)
+	r.in.SetAccepted(s.Consumed)
+	return nil
+}
+
+// AdoptDelta folds a donor instance's delta checkpoint into this copy — the
+// incremental refresh of a live rescaling's state sync. Like AdoptSnapshot
+// it skips the output queue and the SubjobID check; the delta must have
+// been captured without output coverage. The copy must be suspended.
+func (r *Runtime) AdoptDelta(d *Delta) error {
+	if len(d.PEDeltas) != len(r.pes) || len(d.PEFull) != len(r.pes) || len(d.Pipes) != len(r.pipes) {
+		return fmt.Errorf("subjob %s: adopted delta shape mismatch", r.spec.ID)
+	}
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
+	for i, p := range r.pes {
+		switch {
+		case d.PEFull[i] != nil:
+			if err := p.Logic().Restore(d.PEFull[i]); err != nil {
+				return fmt.Errorf("subjob %s: adopt PE %d full state: %w", r.spec.ID, i, err)
+			}
+		case d.PEDeltas[i] != nil:
+			dl, ok := p.Logic().(pe.DeltaLogic)
+			if !ok {
+				return fmt.Errorf("subjob %s: PE %d received a delta but its logic cannot apply one", r.spec.ID, i)
+			}
+			if err := dl.ApplyDelta(d.PEDeltas[i]); err != nil {
+				return fmt.Errorf("subjob %s: adopt PE %d delta: %w", r.spec.ID, i, err)
 			}
 		}
 	}

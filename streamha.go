@@ -81,6 +81,13 @@ type (
 	HybridOptions = core.Options
 	// PassiveOptions tunes conventional passive standby.
 	PassiveOptions = ha.PSOptions
+	// RescalePlacement places the instance Pipeline.ScaleOut adds to a
+	// keyed-parallel stage.
+	RescalePlacement = ha.RescalePlacement
+	// RescaleOptions tunes a live ScaleOut (sync rounds, drain timeout).
+	RescaleOptions = ha.RescaleOptions
+	// RescaleReport describes one completed live rescale.
+	RescaleReport = ha.RescaleReport
 )
 
 // HA modes.
