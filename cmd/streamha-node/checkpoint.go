@@ -1,0 +1,154 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"streamha/internal/checkpoint"
+	"streamha/internal/subjob"
+)
+
+// runCheckpoint implements the `streamha-node checkpoint` subcommands,
+// operating directly on an on-disk catalog directory:
+//
+//	streamha-node checkpoint list    -dir DIR
+//	streamha-node checkpoint inspect -dir DIR -subjob KEY [-seq N]
+//	streamha-node checkpoint restore -dir DIR [-subjob KEY]
+//
+// list shows every cataloged subjob with its chain head. inspect prints
+// one subjob's entries, or decodes one payload with -seq. restore
+// compacts each chain — fold full + deltas into a single full checkpoint
+// at the head sequence — so a subsequent `streamha-node -restore` boots
+// from one read; it is safe to run while the node is down and is the
+// cold-restart recovery step the README walks through.
+func runCheckpoint(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: streamha-node checkpoint <list|inspect|restore> -dir DIR [flags]")
+	}
+	cmd := args[0]
+	fs := flag.NewFlagSet("checkpoint "+cmd, flag.ExitOnError)
+	dir := fs.String("dir", "", "catalog directory (required)")
+	sj := fs.String("subjob", "", "catalog subjob key (as shown by list)")
+	seq := fs.Uint64("seq", 0, "inspect one entry's payload at this sequence number")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	bk, err := checkpoint.NewDiskBackend(*dir)
+	if err != nil {
+		return err
+	}
+	cat := checkpoint.NewCatalog(bk, checkpoint.Retention{})
+
+	switch cmd {
+	case "list":
+		return checkpointList(cat)
+	case "inspect":
+		if *sj == "" {
+			return fmt.Errorf("inspect requires -subjob")
+		}
+		return checkpointInspect(cat, *sj, *seq)
+	case "restore":
+		return checkpointRestore(cat, *sj)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want list, inspect or restore)", cmd)
+	}
+}
+
+func checkpointList(cat *checkpoint.Catalog) error {
+	sjs, err := cat.Subjobs()
+	if err != nil {
+		return err
+	}
+	if len(sjs) == 0 {
+		fmt.Println("catalog is empty")
+		return nil
+	}
+	for _, sj := range sjs {
+		entries, err := cat.Entries(sj)
+		if err != nil {
+			return err
+		}
+		head, ok, err := cat.Head(sj)
+		if err != nil {
+			return err
+		}
+		bytes := 0
+		for _, e := range entries {
+			bytes += e.Bytes
+		}
+		headStr := "none"
+		if ok {
+			headStr = fmt.Sprintf("%d", head)
+		}
+		fmt.Printf("%s: %d entries, %d bytes, restorable head %s\n", sj, len(entries), bytes, headStr)
+	}
+	return nil
+}
+
+func checkpointInspect(cat *checkpoint.Catalog, sj string, seq uint64) error {
+	if seq != 0 {
+		payload, err := cat.Backend().Load(sj, seq)
+		if err != nil {
+			return err
+		}
+		snap, delta, err := subjob.DecodeCheckpoint(payload)
+		if err != nil {
+			return err
+		}
+		if delta != nil {
+			fmt.Printf("%s@%d: delta, prev %d, %d units, %d bytes, consumed %v\n",
+				sj, seq, delta.PrevSeq, delta.ElementUnits(), len(payload), delta.Consumed)
+			return nil
+		}
+		fmt.Printf("%s@%d: full, %d units, %d bytes, %d PEs, consumed %v\n",
+			sj, seq, snap.ElementUnits(), len(payload), len(snap.PEStates), snap.Consumed)
+		return nil
+	}
+	entries, err := cat.Entries(sj)
+	if err != nil {
+		return err
+	}
+	head, _, err := cat.Head(sj)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		mark := ""
+		if e.Seq == head {
+			mark = "  <- head"
+		}
+		link := ""
+		if !e.IsFull() {
+			link = fmt.Sprintf(" prev %d", e.PrevSeq)
+		}
+		fmt.Printf("seq %d: %s%s, %d units, %d bytes, stored %s%s\n",
+			e.Seq, e.Kind, link, e.Units, e.Bytes,
+			time.UnixMilli(e.StoredAt).Format("15:04:05.000"), mark)
+	}
+	return nil
+}
+
+func checkpointRestore(cat *checkpoint.Catalog, sj string) error {
+	sjs := []string{sj}
+	if sj == "" {
+		var err error
+		if sjs, err = cat.Subjobs(); err != nil {
+			return err
+		}
+		if len(sjs) == 0 {
+			return fmt.Errorf("catalog is empty")
+		}
+	}
+	for _, s := range sjs {
+		head, err := cat.Compact(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s, err)
+		}
+		fmt.Printf("%s: compacted to one full checkpoint at seq %d\n", s, head)
+	}
+	return nil
+}

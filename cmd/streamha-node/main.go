@@ -39,6 +39,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -90,22 +91,56 @@ type subjobDef struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "checkpoint" {
+		if err := runCheckpoint(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "streamha-node checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	configPath := flag.String("config", "", "deployment JSON file (required)")
 	process := flag.String("process", "", "process entry to play (required)")
 	snapshot := flag.Int("snapshot", 0, "print a JSON metrics snapshot every N seconds (0: only at exit)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics as JSON over HTTP at this address (GET /metrics.json)")
+	catalogDir := flag.String("catalog-dir", "", "durable checkpoint catalog directory; enables persist-before-ack checkpointing for hosted subjob copies")
+	restore := flag.Bool("restore", false, "restore hosted subjob copies from the catalog before starting (requires -catalog-dir)")
+	checkpointMS := flag.Int("checkpoint-ms", 50, "checkpoint interval in milliseconds when -catalog-dir is set")
+	rebaseEvery := flag.Int("checkpoint-rebase", 4, "with -catalog-dir, take up to N-1 delta checkpoints between full snapshots (1: always full)")
 	flag.Parse()
 	if *configPath == "" || *process == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*configPath, *process, *snapshot, *metricsAddr); err != nil {
+	if *restore && *catalogDir == "" {
+		fmt.Fprintln(os.Stderr, "streamha-node: -restore requires -catalog-dir")
+		os.Exit(2)
+	}
+	opts := nodeOptions{
+		snapshotSec:  *snapshot,
+		metricsAddr:  *metricsAddr,
+		catalogDir:   *catalogDir,
+		restore:      *restore,
+		checkpointMS: *checkpointMS,
+		rebaseEvery:  *rebaseEvery,
+	}
+	if err := run(*configPath, *process, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "streamha-node: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(configPath, process string, snapshotSec int, metricsAddr string) error {
+// nodeOptions carries run's optional knobs (everything beyond the config
+// file and the process name).
+type nodeOptions struct {
+	snapshotSec  int
+	metricsAddr  string
+	catalogDir   string
+	restore      bool
+	checkpointMS int
+	rebaseEvery  int
+}
+
+func run(configPath, process string, opts nodeOptions) error {
 	raw, err := os.ReadFile(configPath)
 	if err != nil {
 		return err
@@ -208,6 +243,48 @@ func run(configPath, process string, snapshotSec int, metricsAddr string) error 
 	reg := metrics.NewRegistry()
 	reg.Register("transport", func() any { return seg.Stats() })
 
+	// Live metrics endpoint: the same registry snapshot the periodic report
+	// prints, pollable over HTTP while the process runs. Started before any
+	// component wiring and shut down by defer, so an error on any later
+	// path neither leaks the listener nor leaves the server running after
+	// run returns.
+	if opts.metricsAddr != "" {
+		ln, err := net.Listen("tcp", opts.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		srv := &http.Server{Handler: metricsMux(reg)}
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+			}
+		}()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				srv.Close()
+			}
+		}()
+		fmt.Printf("serving metrics at http://%s/metrics.json (JSON) and /metrics (Prometheus)\n", ln.Addr())
+	}
+
+	// Durable checkpoint catalog (optional): hosted copies checkpoint into
+	// it through catalog-backed stores, and -restore boots them from it.
+	var cat *checkpoint.Catalog
+	if opts.catalogDir != "" {
+		bk, err := checkpoint.NewDiskBackend(opts.catalogDir)
+		if err != nil {
+			return fmt.Errorf("catalog: %w", err)
+		}
+		cat = checkpoint.NewCatalog(bk, checkpoint.Retention{MaxCheckpoints: 64})
+		reg.Register("catalog", func() any { return cat.Stats() })
+		fmt.Printf("durable checkpoint catalog at %s\n", opts.catalogDir)
+	}
+	if opts.checkpointMS <= 0 {
+		opts.checkpointMS = 50
+	}
+
 	// Local subjob copies.
 	for i, def := range dep.Job.Subjobs {
 		for _, host := range copyHosts(def) {
@@ -219,14 +296,94 @@ func run(configPath, process string, snapshotSec int, metricsAddr string) error 
 			if err != nil {
 				return err
 			}
+			// Each copy keeps its own catalog history: two copies of one
+			// subjob (active mode) have independent checkpoint sequences.
+			catKey := specs[i].ID + "@" + host
+			var restoredSeq uint64
+			if cat != nil && opts.restore {
+				snap, seq, err := cat.Restore(catKey, 0)
+				switch {
+				case err != nil:
+					fmt.Printf("no catalog restore for %s: %v\n", catKey, err)
+				default:
+					// The runtime has not started: restoring now seeds the
+					// PE states, queues and the input dedup floor before any
+					// element can arrive and be processed from empty state.
+					if err := rt.Restore(snap); err != nil {
+						return fmt.Errorf("restore %s: %w", catKey, err)
+					}
+					restoredSeq = seq
+					fmt.Printf("restored %s from catalog at seq %d (%d units)\n", catKey, seq, snap.ElementUnits())
+				}
+			}
 			reg.Register("subjob/"+def.ID+"/"+host, func() any { return rt.Stats() })
 			rt.Start()
 			for _, tgt := range consumerTargets(i + 1) {
 				rt.Out().Subscribe(transport.NodeID(tgt[0]), tgt[1], true)
 			}
-			acker := checkpoint.NewAcker(rt, clk, 20*time.Millisecond)
-			acker.Start()
-			stop = append(stop, acker.Stop, rt.Stop)
+			if cat != nil {
+				// Durable mode: a catalog-backed store on the copy's own
+				// machine plus a sweeping checkpoint manager replace the
+				// acker — upstream acknowledgments then flow only after the
+				// checkpoint covering them is persisted, so a cold restart
+				// never finds upstream trimmed past what it can restore.
+				store := checkpoint.NewStoreWith(m, specs[i].ID, checkpoint.StoreOptions{
+					Catalog:    cat,
+					CatalogKey: catKey,
+				})
+				cm := checkpoint.NewSweeping(checkpoint.Config{
+					Runtime:     rt,
+					Clock:       clk,
+					Interval:    time.Duration(opts.checkpointMS) * time.Millisecond,
+					StoreNode:   m.ID(),
+					RebaseEvery: opts.rebaseEvery,
+					SeqBase:     restoredSeq,
+				})
+				cm.Start()
+				reg.Register("store/"+def.ID+"/"+host, func() any { return store.Stats() })
+				reg.Register("ckptmgr/"+def.ID+"/"+host, func() any { return cm.Stats() })
+				stop = append(stop, store.Close, cm.Stop, rt.Stop)
+			} else {
+				acker := checkpoint.NewAcker(rt, clk, 20*time.Millisecond)
+				acker.Start()
+				stop = append(stop, acker.Stop, rt.Stop)
+			}
+			if cat != nil {
+				// Durable-boot resync: ask each upstream producer to
+				// force-replay everything past this copy's acknowledgment
+				// floor. After a restore this recovers data sent to the dead
+				// process — beyond the sender's watermark but never
+				// delivered; on a fresh boot (floor zero) it recovers the
+				// stream head emitted before this process was reachable,
+				// which the sender also counts as sent. Either way the input
+				// dedup floor absorbs the overlap.
+				if restoredSeq > 0 {
+					rt.Out().RetransmitAll()
+				}
+				owner := specs[i].Owners[streams[i]]
+				ups := upstreamHosts(dep, i)
+				resync := func() {
+					for _, up := range ups {
+						m.Send(transport.NodeID(up), transport.Message{
+							Kind:   transport.KindControl,
+							Stream: subjob.ResyncStream(owner, streams[i]),
+						})
+					}
+				}
+				resync()
+				// The request is a single frame on a lazily-dialed
+				// transport: if the upstream process is not up yet it is
+				// silently dropped, so keep asking until data flows.
+				go func(rt *subjob.Runtime, stream string) {
+					for attempt := 0; attempt < 20; attempt++ {
+						time.Sleep(250 * time.Millisecond)
+						if rt.ConsumedPositions()[stream] > 0 {
+							return
+						}
+						resync()
+					}
+				}(rt, streams[i])
+			}
 			fmt.Printf("hosting subjob copy %s on %s\n", specs[i].ID, host)
 		}
 	}
@@ -269,23 +426,6 @@ func run(configPath, process string, snapshotSec int, metricsAddr string) error 
 		fmt.Printf("hosting source on %s at %.0f elements/s\n", dep.Job.SourceMachine, dep.Job.Rate)
 	}
 
-	// Live metrics endpoint: the same registry snapshot the periodic report
-	// prints, pollable over HTTP while the process runs.
-	if metricsAddr != "" {
-		ln, err := net.Listen("tcp", metricsAddr)
-		if err != nil {
-			return fmt.Errorf("metrics listener: %w", err)
-		}
-		srv := &http.Server{Handler: metricsMux(reg)}
-		go func() {
-			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
-			}
-		}()
-		stop = append(stop, func() { srv.Close() })
-		fmt.Printf("serving metrics at http://%s/metrics.json (JSON) and /metrics (Prometheus)\n", ln.Addr())
-	}
-
 	// Run until the deadline or a signal.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -296,8 +436,8 @@ func run(configPath, process string, snapshotSec int, metricsAddr string) error 
 	report := time.NewTicker(2 * time.Second)
 	defer report.Stop()
 	var snap <-chan time.Time
-	if snapshotSec > 0 {
-		t := time.NewTicker(time.Duration(snapshotSec) * time.Second)
+	if opts.snapshotSec > 0 {
+		t := time.NewTicker(time.Duration(opts.snapshotSec) * time.Second)
 		defer t.Stop()
 		snap = t.C
 	}
@@ -379,14 +519,17 @@ func copyHosts(def subjobDef) []string {
 	return hosts
 }
 
+// upstreamHosts lists the machines producing subjob i's input stream: the
+// source machine for the first stage, every copy of the previous stage
+// otherwise. A restarted copy sends its resync request to each.
+func upstreamHosts(dep deployment, i int) []string {
+	if i == 0 {
+		return []string{dep.Job.SourceMachine}
+	}
+	return copyHosts(dep.Job.Subjobs[i-1])
+}
+
 func printSinkReport(d *metrics.DelayStats, received uint64) {
 	fmt.Printf("sink: %d elements, mean delay %.1f ms, p99 %.1f ms\n",
 		received, d.Mean().Seconds()*1e3, d.Percentile(99).Seconds()*1e3)
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -54,7 +54,7 @@ func TestThreeProcessDeployment(t *testing.T) {
 		wg.Add(1)
 		go func(role string) {
 			defer wg.Done()
-			if err := run(cfg, role, 0, ""); err != nil {
+			if err := run(cfg, role, nodeOptions{}); err != nil {
 				errs <- err
 			}
 		}(role)
@@ -67,7 +67,7 @@ func TestThreeProcessDeployment(t *testing.T) {
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("/nonexistent/config.json", "x", 0, ""); err == nil {
+	if err := run("/nonexistent/config.json", "x", nodeOptions{}); err == nil {
 		t.Fatal("missing config accepted")
 	}
 
@@ -75,7 +75,7 @@ func TestRunRejectsBadInputs(t *testing.T) {
 	if err := os.WriteFile(cfg, []byte("{not json"), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(cfg, "x", 0, ""); err == nil {
+	if err := run(cfg, "x", nodeOptions{}); err == nil {
 		t.Fatal("malformed config accepted")
 	}
 
@@ -87,10 +87,10 @@ func TestRunRejectsBadInputs(t *testing.T) {
 	if err := os.WriteFile(cfg2, good, 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(cfg2, "missing", 0, ""); err == nil {
+	if err := run(cfg2, "missing", nodeOptions{}); err == nil {
 		t.Fatal("unknown process accepted")
 	}
-	if err := run(cfg2, "a", 0, ""); err == nil {
+	if err := run(cfg2, "a", nodeOptions{}); err == nil {
 		t.Fatal("hybrid mode must be rejected multi-process")
 	}
 }

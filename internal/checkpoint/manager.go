@@ -93,6 +93,12 @@ type Config struct {
 	// MaxInFlight bounds captured-but-unshipped checkpoints; the capture
 	// path blocks once the bound is reached. Default 2.
 	MaxInFlight int
+	// SeqBase seeds the checkpoint sequence counter. A cold restart that
+	// restored catalog sequence N passes N here so new checkpoints continue
+	// the chain at N+1 instead of colliding with cataloged history. The
+	// first checkpoint after a restart is automatically full (no delta
+	// baseline survives the process), so the chain re-roots cleanly.
+	SeqBase uint64
 }
 
 // Manager is the common interface of the checkpointing variants.
@@ -158,6 +164,7 @@ func NewSweeping(cfg Config) *Sweeping {
 	cfg.Costs = cfg.Costs.orDefault()
 	return &Sweeping{
 		cfg:     cfg,
+		seq:     cfg.SeqBase,
 		trig:    make(chan struct{}, 1),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),

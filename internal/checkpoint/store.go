@@ -46,10 +46,13 @@ type Store struct {
 	sjID        string
 	backend     StoreBackend
 	diskLatency time.Duration
+	catalog     *Catalog
+	catKey      string
 
 	mu           sync.Mutex
 	latest       *subjob.Snapshot
 	seq          uint64
+	persistedSeq uint64
 	stored       int
 	fulls        int
 	deltaFolds   int
@@ -66,16 +69,45 @@ type storeReq struct {
 	msg  transport.Message
 }
 
+// StoreOptions configures a Store beyond its hosting machine and subjob.
+type StoreOptions struct {
+	// Backend selects the simulated persistence model (InMemory or
+	// SimulatedDisk).
+	Backend StoreBackend
+	// DiskLatency overrides the SimulatedDisk write latency (0: default).
+	DiskLatency time.Duration
+	// Catalog, when non-nil, makes the store durable: every checkpoint
+	// that advances the chain is persisted through the catalog before it
+	// is acknowledged, so upstream never trims data the catalog cannot
+	// recover after a cold restart.
+	Catalog *Catalog
+	// CatalogKey overrides the catalog key (default: the subjob ID). A
+	// deployment hosting several copies of one subjob keys each copy as
+	// "<subjob>@<instance>" so their checkpoint sequences do not collide.
+	CatalogKey string
+}
+
 // NewStore creates and starts a store for subjob sjID on machine m.
 func NewStore(m *machine.Machine, sjID string, backend StoreBackend, diskLatency time.Duration) *Store {
-	if diskLatency <= 0 {
-		diskLatency = DefaultDiskLatency
+	return NewStoreWith(m, sjID, StoreOptions{Backend: backend, DiskLatency: diskLatency})
+}
+
+// NewStoreWith creates and starts a store for subjob sjID on machine m
+// with the given options.
+func NewStoreWith(m *machine.Machine, sjID string, opts StoreOptions) *Store {
+	if opts.DiskLatency <= 0 {
+		opts.DiskLatency = DefaultDiskLatency
+	}
+	if opts.CatalogKey == "" {
+		opts.CatalogKey = sjID
 	}
 	s := &Store{
 		m:           m,
 		sjID:        sjID,
-		backend:     backend,
-		diskLatency: diskLatency,
+		backend:     opts.Backend,
+		diskLatency: opts.DiskLatency,
+		catalog:     opts.Catalog,
+		catKey:      opts.CatalogKey,
 		work:        make(chan storeReq, 128),
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
@@ -97,7 +129,24 @@ func (s *Store) run() {
 	for {
 		select {
 		case <-s.stop:
-			return
+			// Shutdown fence: checkpoints already queued were accepted from
+			// the transport and their senders may be waiting on the
+			// acknowledgments; returning without storing them would drop
+			// acks that Close's caller believes are settled. Close
+			// unregisters the handler before closing stop, so this drain
+			// observes the final backlog.
+			batch = batch[:0]
+			for {
+				select {
+				case req := <-s.work:
+					batch = append(batch, req)
+				default:
+					if len(batch) > 0 {
+						s.store(batch)
+					}
+					return
+				}
+			}
 		case req := <-s.work:
 			batch = append(batch[:0], req)
 		drain:
@@ -143,8 +192,9 @@ func (s *Store) store(batch []storeReq) {
 		}
 	}
 	type seqDelta struct {
-		seq uint64
-		d   *subjob.Delta
+		seq     uint64
+		d       *subjob.Delta
+		payload []byte
 	}
 	var deltas []seqDelta
 	for i := range batch {
@@ -153,7 +203,7 @@ func (s *Store) store(batch []storeReq) {
 			continue
 		}
 		if d, err := subjob.DecodeDelta(m.State); err == nil {
-			deltas = append(deltas, seqDelta{seq: m.Seq, d: d})
+			deltas = append(deltas, seqDelta{seq: m.Seq, d: d, payload: m.State})
 		}
 	}
 
@@ -161,18 +211,34 @@ func (s *Store) store(batch []storeReq) {
 		s.m.CPU().Execute(s.diskLatency)
 	}
 
+	// toPersist records, in chain order, the raw payload of every
+	// checkpoint that advances the in-memory chain; with a catalog
+	// attached these must become durable before their acknowledgments go
+	// out.
+	type persistItem struct {
+		seq     uint64
+		units   int
+		payload []byte
+	}
+	var toPersist []persistItem
+
 	s.mu.Lock()
 	dropsBefore := s.deltaDrops
 	if newFull != nil {
 		s.latest = newFull
 		chain = baseSeq
 		s.fulls++
+		if s.catalog != nil {
+			toPersist = append(toPersist, persistItem{baseSeq, newFull.ElementUnits(), batch[fullIdx].msg.State})
+		}
 	}
 	for _, sd := range deltas {
 		if s.latest == nil || sd.d.PrevSeq != chain {
 			s.deltaDrops++
 			continue
 		}
+		units := sd.d.ElementUnits()
+		payload := sd.payload
 		if err := s.latest.ApplyDelta(sd.d); err != nil {
 			// The image may be partially folded; the chain stays put so the
 			// manager's next full snapshot re-bases it.
@@ -181,6 +247,9 @@ func (s *Store) store(batch []storeReq) {
 		}
 		chain = sd.seq
 		s.deltaFolds++
+		if s.catalog != nil {
+			toPersist = append(toPersist, persistItem{sd.seq, units, payload})
+		}
 	}
 	dropped := s.deltaDrops > dropsBefore
 	onChainBreak := s.onChainBreak
@@ -189,23 +258,51 @@ func (s *Store) store(batch []storeReq) {
 	if advanced && s.latest != nil {
 		s.lastUnits = s.latest.ElementUnits()
 	}
+	durable := s.persistedSeq
+	s.mu.Unlock()
+
+	// Persist-before-ack: advance the durable watermark through the folded
+	// chain in order. The first failed write stops it — the in-memory
+	// image is ahead of the catalog then, acknowledgments are withheld at
+	// the durable watermark, and the chain break forces the manager's next
+	// checkpoint full, which re-bases the catalog and self-heals the gap.
+	persistFailed := false
+	ackCeil := chain
+	if s.catalog != nil {
+		for _, it := range toPersist {
+			if err := s.catalog.Put(s.catKey, it.seq, it.units, it.payload); err != nil {
+				persistFailed = true
+				break
+			}
+			durable = it.seq
+		}
+		s.mu.Lock()
+		if durable > s.persistedSeq {
+			s.persistedSeq = durable
+		}
+		s.mu.Unlock()
+		ackCeil = durable
+	}
+
 	accepted := 0
 	for i := range batch {
-		if batch[i].msg.Seq <= chain {
+		if batch[i].msg.Seq <= ackCeil {
 			accepted++
 		}
 	}
+	s.mu.Lock()
 	s.stored += accepted
 	s.mu.Unlock()
 
-	if dropped && onChainBreak != nil {
+	if (dropped || persistFailed) && onChainBreak != nil {
 		onChainBreak()
 	}
 
 	for i := range batch {
-		if batch[i].msg.Seq > chain {
-			// Unfoldable (or undecodable) checkpoint: no acknowledgment, so
-			// upstream keeps the data it would have trimmed.
+		if batch[i].msg.Seq > ackCeil {
+			// Unfoldable, undecodable or unpersisted checkpoint: no
+			// acknowledgment, so upstream keeps the data it would have
+			// trimmed.
 			continue
 		}
 		s.m.Send(batch[i].from, transport.Message{
@@ -263,14 +360,21 @@ type StoreStats struct {
 	Fulls      int `json:"fulls_stored"`
 	DeltaFolds int `json:"delta_folds"`
 	DeltaDrops int `json:"delta_drops"`
+	// Catalog activity, populated only when the store persists through a
+	// catalog: DurableSeq is the durable watermark (acknowledgments never
+	// pass it), Persisted/PersistErrors/GCRemoved count catalog writes,
+	// failed writes, and retention removals.
+	DurableSeq    uint64 `json:"durable_seq,omitempty"`
+	Persisted     int    `json:"persisted,omitempty"`
+	PersistErrors int    `json:"persist_errors,omitempty"`
+	GCRemoved     int    `json:"gc_removed,omitempty"`
 }
 
 // Stats captures how many checkpoints the store has taken in and the size
 // of the latest one, in element units.
 func (s *Store) Stats() StoreStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return StoreStats{
+	st := StoreStats{
 		Subjob:     s.sjID,
 		Stored:     s.stored,
 		LatestSeq:  s.seq,
@@ -278,17 +382,31 @@ func (s *Store) Stats() StoreStats {
 		Fulls:      s.fulls,
 		DeltaFolds: s.deltaFolds,
 		DeltaDrops: s.deltaDrops,
+		DurableSeq: s.persistedSeq,
 	}
+	s.mu.Unlock()
+	if s.catalog != nil {
+		ctr := s.catalog.Counters(s.catKey)
+		st.Persisted = ctr.Persisted
+		st.PersistErrors = ctr.PersistErrs
+		st.GCRemoved = ctr.GCRemoved
+	}
+	return st
 }
 
-// Close stops the store and unregisters its handler.
+// Close stops the store and unregisters its handler. The handler is
+// unregistered FIRST, so no new checkpoints enter the work queue after
+// stop closes; run() then drains and stores what is already queued
+// before exiting. The previous order (stop first, unregister after)
+// raced: a handler delivery between the two could be accepted into the
+// queue and silently dropped — its sender never saw the acknowledgment.
 func (s *Store) Close() {
 	select {
 	case <-s.stop:
 		return
 	default:
 	}
+	s.m.UnregisterStream(subjob.CkptStream(s.sjID))
 	close(s.stop)
 	<-s.done
-	s.m.UnregisterStream(subjob.CkptStream(s.sjID))
 }

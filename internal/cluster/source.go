@@ -84,6 +84,11 @@ func NewSource(cfg SourceConfig) *Source {
 	cfg.Machine.RegisterStream(subjob.AckStream(SourceOwner, cfg.Stream), func(from transport.NodeID, msg transport.Message) {
 		s.out.Ack(from, msg.Seq)
 	})
+	cfg.Machine.RegisterStream(subjob.ResyncStream(SourceOwner, cfg.Stream), func(from transport.NodeID, _ transport.Message) {
+		// A restarted consumer asks for everything past its acknowledgment
+		// floor; its restored input dedup absorbs the overlap.
+		s.out.Resync(from)
+	})
 	return s
 }
 

@@ -241,6 +241,13 @@ type LifecycleConfig struct {
 	Wiring Wiring
 	// Policy is the HA mode.
 	Policy StandbyPolicy
+	// Catalog is the durable checkpoint catalog used by RestoreFromCatalog
+	// and, independently, by policies whose options carry the same catalog
+	// for persist-before-ack storage.
+	Catalog *checkpoint.Catalog
+	// RestoreFromCatalog rewinds the primary to the catalog's head chain
+	// before the policy arms — the cold-restart path. Requires Catalog.
+	RestoreFromCatalog bool
 }
 
 type lcEvent struct {
@@ -275,6 +282,7 @@ type Lifecycle struct {
 	rollbacks   []RollbackEvent
 	promotions  []PromoteEvent
 	chainBreaks int
+	restoredSeq uint64 // catalog sequence a cold restart restored, 0 otherwise
 	started     bool
 
 	events  chan lcEvent
@@ -312,8 +320,23 @@ func (lc *Lifecycle) Start() error {
 	}
 	lc.started = true
 	lc.mu.Unlock()
+	// An error below means the event loop never launched; roll back the
+	// started flag so a subsequent Stop doesn't block on lc.done forever
+	// (and a fixed-up caller may retry Start).
+	unstart := func() {
+		lc.mu.Lock()
+		lc.started = false
+		lc.mu.Unlock()
+	}
 
+	if lc.cfg.RestoreFromCatalog {
+		if err := lc.restoreFromCatalog(); err != nil {
+			unstart()
+			return err
+		}
+	}
 	if err := lc.pol.Arm(lc); err != nil {
+		unstart()
 		return err
 	}
 	lc.mu.Lock()
@@ -435,6 +458,55 @@ func (lc *Lifecycle) startDetector(monitor *machine.Machine, target transport.No
 	lc.mu.Unlock()
 	det.Start()
 }
+
+// restoreFromCatalog is the cold-restart path: fold the catalog's head
+// chain into a snapshot and rewind the primary to it before the policy
+// arms. Restore aligns the input queue's dedup floor with the restored
+// consumed positions, so the upstream resync that follows — a forced
+// replay of everything past the last acknowledgment — is absorbed
+// exactly once: elements the snapshot already covers are deduplicated,
+// elements lost with the dead process are reprocessed.
+func (lc *Lifecycle) restoreFromCatalog() error {
+	if lc.cfg.Catalog == nil {
+		return fmt.Errorf("core: RestoreFromCatalog without a catalog")
+	}
+	snap, seq, err := lc.cfg.Catalog.Restore(lc.cfg.Spec.ID, 0)
+	if err != nil {
+		return err
+	}
+	pri := lc.PrimaryRuntime()
+	var rerr error
+	pri.WithPaused(func() { rerr = pri.Restore(snap) })
+	if rerr != nil {
+		return rerr
+	}
+	// The restored output queue holds what downstream had not acknowledged
+	// at checkpoint time; push it again rather than waiting for a timeout.
+	pri.Out().RetransmitAll()
+	if ups := lc.cfg.Wiring.UpstreamOutputs; ups != nil {
+		for _, up := range ups() {
+			up.Resync(pri.Node())
+		}
+	}
+	lc.mu.Lock()
+	lc.restoredSeq = seq
+	lc.mu.Unlock()
+	return nil
+}
+
+// seqBase is the checkpoint sequence managers continue from: the catalog
+// sequence a cold restart restored, zero on a fresh start. Policies pass
+// it to every Sweeping manager they create so new checkpoints extend the
+// cataloged chain instead of colliding with it.
+func (lc *Lifecycle) seqBase() uint64 {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.restoredSeq
+}
+
+// RestoredSeq returns the catalog sequence the lifecycle restored at
+// start, or 0 when it started fresh.
+func (lc *Lifecycle) RestoredSeq() uint64 { return lc.seqBase() }
 
 // upPart returns the partition-instance index this subjob's copies consume
 // from upstream outputs: the configured instance index for a keyed-parallel

@@ -107,6 +107,11 @@ type Options struct {
 	// refreshing memory (only meaningful with NoPreDeploy or for ablation
 	// of the in-memory refresh; adds write latency to every checkpoint).
 	DiskStore bool
+	// Catalog, when non-nil, makes the standby durable: every checkpoint
+	// the standby (or its NoPreDeploy store) accepts is persisted through
+	// the catalog before it is acknowledged, leaving a sequence-chained
+	// history a cold restart can restore from.
+	Catalog *checkpoint.Catalog
 }
 
 func (o Options) withDefaults() Options {
@@ -164,6 +169,9 @@ type PassiveOptions struct {
 	// StoreBackend selects the checkpoint store; conventional passive
 	// standby persists to (simulated) disk.
 	StoreBackend checkpoint.StoreBackend
+	// Catalog, when non-nil, persists every stored checkpoint durably
+	// before it is acknowledged (see Options.Catalog).
+	Catalog *checkpoint.Catalog
 }
 
 func (o PassiveOptions) withDefaults() PassiveOptions {

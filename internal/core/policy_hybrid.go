@@ -70,7 +70,7 @@ func (hp *HybridPolicy) Arm(lc *Lifecycle) error {
 		acker := checkpoint.NewAcker(sec, lc.clk, hp.opts.AckInterval)
 		lc.mu.Lock()
 		lc.secondary = sec
-		lc.standby = NewStandbyStore(sec)
+		lc.standby = NewStandbyStoreWith(sec, hp.opts.Catalog)
 		lc.ackers = append(lc.ackers, acker)
 		lc.mu.Unlock()
 		acker.Start()
@@ -80,7 +80,10 @@ func (hp *HybridPolicy) Arm(lc *Lifecycle) error {
 			backend = checkpoint.SimulatedDisk
 		}
 		lc.mu.Lock()
-		lc.store = checkpoint.NewStore(secM, spec.ID, backend, 0)
+		lc.store = checkpoint.NewStoreWith(secM, spec.ID, checkpoint.StoreOptions{
+			Backend: backend,
+			Catalog: hp.opts.Catalog,
+		})
 		lc.mu.Unlock()
 	}
 
@@ -93,6 +96,7 @@ func (hp *HybridPolicy) Arm(lc *Lifecycle) error {
 		RebaseEvery:    hp.opts.CheckpointRebaseEvery,
 		RebaseAdaptive: hp.opts.CheckpointRebaseAdaptive,
 		MaxInFlight:    hp.opts.CheckpointMaxInFlight,
+		SeqBase:        lc.seqBase(),
 	})
 	lc.mu.Lock()
 	lc.cm = cm
@@ -311,7 +315,7 @@ func (hp *HybridPolicy) Promote(lc *Lifecycle, _ time.Time) State {
 		standby.Retarget(newSec)
 	} else {
 		lc.mu.Lock()
-		lc.standby = NewStandbyStore(newSec)
+		lc.standby = NewStandbyStoreWith(newSec, hp.opts.Catalog)
 		lc.mu.Unlock()
 	}
 
@@ -324,6 +328,7 @@ func (hp *HybridPolicy) Promote(lc *Lifecycle, _ time.Time) State {
 		RebaseEvery:    hp.opts.CheckpointRebaseEvery,
 		RebaseAdaptive: hp.opts.CheckpointRebaseAdaptive,
 		MaxInFlight:    hp.opts.CheckpointMaxInFlight,
+		SeqBase:        lc.seqBase(),
 	})
 	newAcker := checkpoint.NewAcker(newSec, lc.clk, hp.opts.AckInterval)
 	lc.mu.Lock()

@@ -57,7 +57,10 @@ func (pp *PassivePolicy) arm(lc *Lifecycle) {
 	active, standbyM := lc.primary, lc.secondaryM
 	lc.mu.Unlock()
 
-	store := checkpoint.NewStore(standbyM, lc.cfg.Spec.ID, pp.opts.StoreBackend, 0)
+	store := checkpoint.NewStoreWith(standbyM, lc.cfg.Spec.ID, checkpoint.StoreOptions{
+		Backend: pp.opts.StoreBackend,
+		Catalog: pp.opts.Catalog,
+	})
 	cm := checkpoint.NewSweeping(checkpoint.Config{
 		Runtime:        active,
 		Clock:          lc.clk,
@@ -66,6 +69,7 @@ func (pp *PassivePolicy) arm(lc *Lifecycle) {
 		Costs:          pp.opts.CheckpointCosts,
 		RebaseEvery:    pp.opts.CheckpointRebaseEvery,
 		RebaseAdaptive: pp.opts.CheckpointRebaseAdaptive,
+		SeqBase:        lc.seqBase(),
 	})
 	lc.mu.Lock()
 	lc.store = store

@@ -14,6 +14,7 @@ package core
 import (
 	"sync"
 
+	"streamha/internal/checkpoint"
 	"streamha/internal/subjob"
 	"streamha/internal/transport"
 )
@@ -33,8 +34,9 @@ import (
 // an active period, a retarget, a failed restore — invalidates the chain
 // until the next full snapshot re-bases it.
 type StandbyStore struct {
-	mu sync.Mutex
-	rt *subjob.Runtime
+	mu      sync.Mutex
+	rt      *subjob.Runtime
+	catalog *checkpoint.Catalog
 
 	applied      int
 	skipped      int
@@ -55,11 +57,25 @@ type storeReq struct {
 // NewStandbyStore starts a store refreshing rt, which must be the
 // suspended standby copy of its subjob.
 func NewStandbyStore(rt *subjob.Runtime) *StandbyStore {
+	return NewStandbyStoreWith(rt, nil)
+}
+
+// NewStandbyStoreWith starts a store refreshing rt that also persists
+// checkpoints through catalog (when non-nil) before acknowledging them,
+// so the in-memory refresh leaves a durable trail a cold restart can
+// restore from. Full snapshots are persisted whenever they decode — even
+// ones skipped because the standby is active or ahead, since a full is a
+// valid restore base regardless of the standby's live state. Deltas are
+// persisted only when applied: an applied delta extends the in-memory
+// chain, whose predecessor was persisted by the same rule, so the
+// cataloged chain always mirrors the in-memory one.
+func NewStandbyStoreWith(rt *subjob.Runtime, catalog *checkpoint.Catalog) *StandbyStore {
 	s := &StandbyStore{
-		rt:   rt,
-		work: make(chan storeReq, 128),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		rt:      rt,
+		catalog: catalog,
+		work:    make(chan storeReq, 128),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 	rt.Machine().RegisterStream(subjob.CkptStream(rt.Spec().ID), func(from transport.NodeID, msg transport.Message) {
 		select {
@@ -101,7 +117,18 @@ func (s *StandbyStore) run() {
 	for {
 		select {
 		case <-s.stop:
-			return
+			// Shutdown fence: Close unregisters the handler before closing
+			// stop, so the work queue no longer grows; applying what is
+			// already queued keeps the acknowledgments the senders are
+			// waiting on from silently vanishing.
+			for {
+				select {
+				case req := <-s.work:
+					s.apply(req)
+				default:
+					return
+				}
+			}
 		case req := <-s.work:
 			s.apply(req)
 		}
@@ -182,6 +209,30 @@ func (s *StandbyStore) apply(req storeReq) {
 	if !ack {
 		return
 	}
+	// Persist-before-ack. Fulls are cataloged whenever they decode (any
+	// full is a valid cold-restart base); deltas only when applied, which
+	// guarantees their cataloged predecessor exists. A failed persist
+	// withholds the acknowledgment — upstream must keep the data the
+	// catalog cannot recover — and invalidates the chain so the manager
+	// re-bases with a full snapshot.
+	if s.catalog != nil && (delta == nil || applied) {
+		units := 0
+		if delta != nil {
+			units = delta.ElementUnits()
+		} else {
+			units = snap.ElementUnits()
+		}
+		if err := s.catalog.Put(rt.Spec().ID, req.msg.Seq, units, req.msg.State); err != nil {
+			s.mu.Lock()
+			s.chainOK = false
+			onChainBreak := s.onChainBreak
+			s.mu.Unlock()
+			if onChainBreak != nil {
+				onChainBreak()
+			}
+			return
+		}
+	}
 	rt.Machine().Send(req.from, transport.Message{
 		Kind:    transport.KindControl,
 		Stream:  subjob.CkptAckStream(rt.Spec().ID),
@@ -222,15 +273,27 @@ func (s *StandbyStore) DeltaDrops() int {
 	return s.deltaDrops
 }
 
-// Close stops the store.
+// Persisted returns how many checkpoints this store made durable through
+// its catalog (always 0 without one).
+func (s *StandbyStore) Persisted() int {
+	if s.catalog == nil {
+		return 0
+	}
+	return s.catalog.Counters(s.runtime().Spec().ID).Persisted
+}
+
+// Close stops the store. The handler is unregistered before stop closes
+// so run()'s shutdown drain observes the final backlog; the reverse
+// order could accept a checkpoint into the queue after the drain and
+// drop its acknowledgment.
 func (s *StandbyStore) Close() {
 	select {
 	case <-s.stop:
 		return
 	default:
 	}
-	close(s.stop)
-	<-s.done
 	rt := s.runtime()
 	rt.Machine().UnregisterStream(subjob.CkptStream(rt.Spec().ID))
+	close(s.stop)
+	<-s.done
 }

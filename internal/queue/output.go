@@ -634,3 +634,23 @@ func (o *Output) RetransmitAll() {
 		o.replayLocked(s, true)
 	}
 }
+
+// Resync force-replays everything node has not acknowledged, reactivating
+// its subscription if needed. A consumer that restarted from a durable
+// checkpoint requests this from each upstream: elements sent to the dead
+// process are past the send watermark but were never delivered, so only a
+// forced replay from the acknowledgment floor recovers them. The
+// consumer's restored input dedup absorbs the overlap.
+func (o *Output) Resync(node transport.NodeID) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s, ok := o.subs[node]
+	if !ok {
+		return
+	}
+	if !s.Active {
+		s.Active = true
+		o.rebuildActiveLocked()
+	}
+	o.replayLocked(s, true)
+}

@@ -1,0 +1,76 @@
+package queue
+
+import (
+	"testing"
+
+	"streamha/internal/transport"
+)
+
+// TestResyncForceReplaysPastSendWatermark: elements published to a
+// subscriber advance its send watermark even though the receiving
+// process may have died before persisting them. Resync must ignore that
+// watermark and replay everything above the acknowledgment floor —
+// exactly the cold-restart recovery request — where a plain Activate
+// correctly suppresses the already-sent suffix.
+func TestResyncForceReplaysPastSendWatermark(t *testing.T) {
+	s := newCaptureSender()
+	o := NewOutput("st", s.send)
+	o.Subscribe("a", "in", true)
+	o.Publish(elems(6))
+	o.Ack("a", 2) // the consumer persisted through seq 2, then crashed
+
+	if got := len(s.elementsTo("a")); got != 6 {
+		t.Fatalf("setup: %d elements sent", got)
+	}
+
+	// Activate is a no-op here: the subscription is already active and
+	// the send watermark says everything went out.
+	o.Activate("a", true)
+	if got := len(s.elementsTo("a")); got != 6 {
+		t.Fatalf("activate replayed past the send watermark: %d", got)
+	}
+
+	// Resync replays seqs 3..6 — retained, unacknowledged, and (per the
+	// watermark) "already sent" to the dead process.
+	o.Resync("a")
+	got := s.elementsTo("a")
+	if len(got) != 10 {
+		t.Fatalf("resync sent %d elements total, want 10", len(got))
+	}
+	replay := got[6:]
+	for i, e := range replay {
+		if want := uint64(3 + i); e.Seq != want {
+			t.Fatalf("replay[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+// TestResyncReactivatesInactiveSubscription: a restarted consumer may
+// come back while its subscription is parked inactive; Resync flips it
+// active and replays from the floor in one step.
+func TestResyncReactivatesInactiveSubscription(t *testing.T) {
+	s := newCaptureSender()
+	o := NewOutput("st", s.send)
+	o.Subscribe("a", "in", true)
+	o.Subscribe("b", "in", true)
+	o.Publish(elems(4))
+	o.Ack("a", 4)
+	o.Ack("b", 1) // floor trims to 1; 2..4 retained for b
+	o.Activate("b", false)
+
+	before := len(s.elementsTo("b"))
+	o.Resync("b")
+	replay := s.elementsTo("b")[before:]
+	if len(replay) != 3 || replay[0].Seq != 2 || replay[2].Seq != 4 {
+		t.Fatalf("resync after reactivation replayed %v", replay)
+	}
+	if o.Stats().ActiveSubscribers != 2 {
+		t.Fatalf("subscription still inactive after resync")
+	}
+
+	// Unknown nodes are ignored without side effects.
+	o.Resync(transport.NodeID("ghost"))
+	if o.Stats().Subscribers != 2 {
+		t.Fatal("resync of unknown node mutated subscriptions")
+	}
+}

@@ -487,3 +487,50 @@ func DecodeCheckpoint(b []byte) (*Snapshot, *Delta, error) {
 	s, err := DecodeSnapshot(b)
 	return s, nil, err
 }
+
+// CheckpointInfo describes an encoded checkpoint payload: enough to index
+// and chain it without decoding the state sections.
+type CheckpointInfo struct {
+	SubjobID string
+	IsDelta  bool
+	// PrevSeq is the chain predecessor; meaningful only for deltas.
+	PrevSeq uint64
+}
+
+// PeekCheckpoint reads a checkpoint payload's header — subjob identity,
+// kind, and (for deltas) the chain predecessor. Binary payloads cost only
+// a few header bytes; legacy gob payloads fall back to a full decode.
+func PeekCheckpoint(b []byte) (CheckpointInfo, error) {
+	switch {
+	case hasMagic(b, snapMagic):
+		r := &creader{b: b[4:]}
+		if v := r.byte(); r.err == nil && v != codecVersion {
+			return CheckpointInfo{}, fmt.Errorf("subjob: unknown snapshot codec version %d", v)
+		}
+		id := r.str()
+		if r.err != nil {
+			return CheckpointInfo{}, r.err
+		}
+		return CheckpointInfo{SubjobID: id}, nil
+	case hasMagic(b, deltaMagic):
+		r := &creader{b: b[4:]}
+		if v := r.byte(); r.err == nil && v != codecVersion {
+			return CheckpointInfo{}, fmt.Errorf("subjob: unknown delta codec version %d", v)
+		}
+		id := r.str()
+		prev := r.uvarint()
+		if r.err != nil {
+			return CheckpointInfo{}, r.err
+		}
+		return CheckpointInfo{SubjobID: id, IsDelta: true, PrevSeq: prev}, nil
+	default:
+		snap, delta, err := DecodeCheckpoint(b)
+		if err != nil {
+			return CheckpointInfo{}, err
+		}
+		if delta != nil {
+			return CheckpointInfo{SubjobID: delta.SubjobID, IsDelta: true, PrevSeq: delta.PrevSeq}, nil
+		}
+		return CheckpointInfo{SubjobID: snap.SubjobID}, nil
+	}
+}

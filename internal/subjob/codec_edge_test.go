@@ -1,0 +1,150 @@
+package subjob
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCodecAutoDetectEdgeCases pins the codec's format sniffing on the
+// degenerate payloads where a length- or content-based heuristic would
+// misroute: empty and zero-PE checkpoints (whose binary encoding is
+// little more than the magic preamble), truncated preambles, and
+// single-byte payloads. Detection is a strict 4-byte prefix match, so
+// every case must either decode through the binary path or fail cleanly
+// — never panic, and never fall through to gob for a binary payload.
+func TestCodecAutoDetectEdgeCases(t *testing.T) {
+	emptySnap := &Snapshot{SubjobID: "j/empty"}
+	emptySnapBin, err := emptySnap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	emptySnapGob, err := emptySnap.EncodeGob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	emptyDelta := &Delta{SubjobID: "j/empty", PrevSeq: 7}
+	emptyDeltaBin, err := emptyDelta.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		payload []byte
+		// wantSnap / wantDelta: decodes successfully through
+		// DecodeCheckpoint as that kind. Both false: must error.
+		wantSnap  bool
+		wantDelta bool
+	}{
+		{"empty snapshot binary", emptySnapBin, true, false},
+		{"empty snapshot gob", emptySnapGob, true, false},
+		{"empty delta binary", emptyDeltaBin, false, true},
+		{"nil payload", nil, false, false},
+		{"empty payload", []byte{}, false, false},
+		{"single zero byte", []byte{0}, false, false},
+		{"single letter S", []byte("S"), false, false},
+		{"truncated snap magic", []byte("SHS"), false, false},
+		{"truncated delta magic", []byte("SHD"), false, false},
+		{"bare snap magic", []byte("SHS2"), false, false},
+		{"bare delta magic", []byte("SHD2"), false, false},
+		{"snap magic bad version", append([]byte("SHS2"), 0xFF), false, false},
+		{"delta magic bad version", append([]byte("SHD2"), 0xFF), false, false},
+		{"snap magic truncated body", append([]byte("SHS2"), 1, 30), false, false},
+		{"near-magic garbage", []byte("SHS3garbage"), false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			snap, delta, err := DecodeCheckpoint(tc.payload)
+			switch {
+			case tc.wantSnap:
+				if err != nil || snap == nil || delta != nil {
+					t.Fatalf("DecodeCheckpoint = (%v, %v, %v), want snapshot", snap, delta, err)
+				}
+			case tc.wantDelta:
+				if err != nil || delta == nil || snap != nil {
+					t.Fatalf("DecodeCheckpoint = (%v, %v, %v), want delta", snap, delta, err)
+				}
+			default:
+				if err == nil {
+					t.Fatalf("DecodeCheckpoint accepted %q", tc.payload)
+				}
+			}
+
+			// The single-kind decoders and the header peek must agree
+			// with the router — and none of them may panic.
+			_, snapErr := DecodeSnapshot(tc.payload)
+			if tc.wantSnap != (snapErr == nil) {
+				t.Fatalf("DecodeSnapshot err = %v, want success=%v", snapErr, tc.wantSnap)
+			}
+			_, deltaErr := DecodeDelta(tc.payload)
+			if tc.wantDelta != (deltaErr == nil) {
+				t.Fatalf("DecodeDelta err = %v, want success=%v", deltaErr, tc.wantDelta)
+			}
+			info, peekErr := PeekCheckpoint(tc.payload)
+			if (tc.wantSnap || tc.wantDelta) != (peekErr == nil) {
+				t.Fatalf("PeekCheckpoint err = %v", peekErr)
+			}
+			if peekErr == nil {
+				if info.SubjobID != "j/empty" || info.IsDelta != tc.wantDelta {
+					t.Fatalf("PeekCheckpoint = %+v", info)
+				}
+				if tc.wantDelta && info.PrevSeq != 7 {
+					t.Fatalf("PeekCheckpoint prev = %d, want 7", info.PrevSeq)
+				}
+			}
+		})
+	}
+}
+
+// TestCodecEmptySnapshotBinaryRouting is the regression distilled: a
+// zero-PE snapshot's binary encoding is only a few bytes longer than the
+// preamble, and it must round-trip through the binary decoder rather
+// than being misdetected as legacy gob (which would reject it with an
+// opaque gob error).
+func TestCodecEmptySnapshotBinaryRouting(t *testing.T) {
+	s := &Snapshot{SubjobID: "j/z"}
+	enc, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(enc, []byte("SHS2")) {
+		t.Fatalf("binary snapshot missing magic: %q", enc)
+	}
+	if IsDelta(enc) {
+		t.Fatal("snapshot detected as delta")
+	}
+	got, err := DecodeSnapshot(enc)
+	if err != nil {
+		t.Fatalf("empty binary snapshot misrouted: %v", err)
+	}
+	if got.SubjobID != "j/z" || len(got.PEStates) != 0 || got.ElementUnits() != 0 {
+		t.Fatalf("round trip mutated empty snapshot: %+v", got)
+	}
+	reenc, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, reenc) {
+		t.Fatal("empty snapshot round trip diverged")
+	}
+
+	// The same payload with its magic clipped must NOT silently decode
+	// as gob to a zero snapshot — it has to be an explicit error.
+	if _, err := DecodeSnapshot(enc[1:]); err == nil {
+		t.Fatal("clipped binary payload accepted via gob fallback")
+	}
+}
+
+// TestCodecVersionErrorsAreDiagnosable: a future-version payload must be
+// rejected with an error naming the version, not a generic parse
+// failure, so operators can tell a format skew from corruption.
+func TestCodecVersionErrorsAreDiagnosable(t *testing.T) {
+	for _, magic := range []string{"SHS2", "SHD2"} {
+		payload := append([]byte(magic), 9)
+		_, _, err := DecodeCheckpoint(payload)
+		if err == nil || !strings.Contains(err.Error(), "version") {
+			t.Fatalf("%s version-9 payload: err = %v, want version error", magic, err)
+		}
+	}
+}

@@ -179,6 +179,11 @@ func (r *Runtime) Start() {
 	r.m.RegisterStream(AckStream(r.spec.ID, r.spec.OutStream), func(from transport.NodeID, msg transport.Message) {
 		r.out.Ack(from, msg.Seq)
 	})
+	r.m.RegisterStream(ResyncStream(r.spec.ID, r.spec.OutStream), func(from transport.NodeID, _ transport.Message) {
+		// A downstream consumer restarted from a durable checkpoint and
+		// asks for everything it has not acknowledged.
+		r.out.Resync(from)
+	})
 
 	for _, p := range r.pes {
 		if suspended {
@@ -202,6 +207,7 @@ func (r *Runtime) Stop() {
 		r.m.UnregisterStream(DataStream(r.spec.ID, s))
 	}
 	r.m.UnregisterStream(AckStream(r.spec.ID, r.spec.OutStream))
+	r.m.UnregisterStream(ResyncStream(r.spec.ID, r.spec.OutStream))
 	for _, p := range r.pes {
 		p.Stop()
 	}

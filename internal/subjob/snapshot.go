@@ -100,13 +100,19 @@ func (s *Snapshot) EncodeGob() ([]byte, error) {
 
 // DecodeSnapshot parses an encoded full snapshot. The binary format is
 // detected by its magic preamble; anything else is treated as the legacy
-// gob encoding.
+// gob encoding. The preamble check is a prefix match, so an empty or
+// zero-PE snapshot — whose binary encoding is the bare preamble plus a
+// handful of zero counts — still routes to the binary decoder and never
+// falls through to gob.
 func DecodeSnapshot(b []byte) (*Snapshot, error) {
 	if hasMagic(b, snapMagic) {
 		return decodeSnapshotBinary(b)
 	}
 	if hasMagic(b, deltaMagic) {
 		return nil, fmt.Errorf("subjob: delta checkpoint where full snapshot expected")
+	}
+	if len(b) == 0 {
+		return nil, fmt.Errorf("subjob: empty checkpoint payload")
 	}
 	var s Snapshot
 	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&s); err != nil {

@@ -18,6 +18,13 @@ func DataStream(sj, logical string) string { return "data|" + sj + "|" + logical
 // AckStream names the acknowledgment stream of the subjob owning logical.
 func AckStream(owner, logical string) string { return "ack|" + owner + "|" + logical }
 
+// ResyncStream names the stream on which a restarted consumer asks the
+// subjob owning logical to force-replay everything unacknowledged. Cold
+// restarts send it after restoring from a durable checkpoint: data sent
+// to the dead process is past the sender's watermark but was never
+// delivered, and only a forced replay recovers it.
+func ResyncStream(owner, logical string) string { return "resync|" + owner + "|" + logical }
+
 // CkptStream names the checkpoint-store stream of subjob sj.
 func CkptStream(sj string) string { return "ckpt|" + sj }
 
