@@ -17,10 +17,16 @@
 // "lifecycle" (control-plane transition logs per standby policy under a
 // scripted stall + fail-stop) and "scale" (keyed-parallelism throughput
 // at 1/2/4/8 partition instances plus a live 2->3 rescale with
-// exactly-once audit; -smoke sweeps {1,4} with short runs).
+// exactly-once audit; -smoke sweeps {1,4} with short runs) and "approx"
+// (the bounded-error standby: five-mode steady-state grid plus an
+// injected failover with divergence-vs-budget accounting).
+//
+// -json <path> additionally writes every rendered table as machine-
+// readable JSON (figure -> metric -> value), for CI artifacts.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,18 +38,53 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1,2,4,5,6,7,8,9,11,12,sweeping,ablation,throughput,delaystats,wire,checkpoint,lifecycle,scale or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1,2,4,5,6,7,8,9,11,12,sweeping,ablation,throughput,delaystats,wire,checkpoint,lifecycle,scale,approx or all")
 	quick := flag.Bool("quick", false, "reduced sweeps and repeats for a fast look")
-	smoke := flag.Bool("smoke", false, "health-check subset for CI (currently affects -fig checkpoint)")
+	smoke := flag.Bool("smoke", false, "health-check subset for CI (affects -fig checkpoint, scale, approx)")
+	jsonPath := flag.String("json", "", "also write the results as JSON (figure -> metric -> value) to this path")
 	flag.Parse()
 
-	if err := run(*fig, *quick, *smoke); err != nil {
+	if err := run(*fig, *quick, *smoke, *jsonPath); err != nil {
 		fmt.Fprintf(os.Stderr, "streamha-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, quick, smoke bool) error {
+// jsonTable is one rendered table in the -json output: the raw table plus
+// a metrics map keyed by each row's first cell.
+type jsonTable struct {
+	Title          string                       `json:"title"`
+	Note           string                       `json:"note,omitempty"`
+	ElapsedSeconds float64                      `json:"elapsed_seconds"`
+	Metrics        map[string]map[string]string `json:"metrics"`
+}
+
+// tableMetrics flattens a table into metric -> column -> value. Row labels
+// are made unique by suffixing the second column (e.g. a rate) and, as a
+// last resort, the row index.
+func tableMetrics(t experiment.Table) map[string]map[string]string {
+	out := make(map[string]map[string]string, len(t.Rows))
+	for i, row := range t.Rows {
+		if len(row) == 0 {
+			continue
+		}
+		key := row[0]
+		if _, dup := out[key]; dup && len(row) > 1 {
+			key = row[0] + "@" + row[1]
+		}
+		if _, dup := out[key]; dup {
+			key = fmt.Sprintf("%s#%d", row[0], i)
+		}
+		cols := make(map[string]string, len(row))
+		for j := 1; j < len(row) && j < len(t.Header); j++ {
+			cols[t.Header[j]] = row[j]
+		}
+		out[key] = cols
+	}
+	return out
+}
+
+func run(fig string, quick, smoke bool, jsonPath string) error {
 	params := experiment.DefaultParams()
 	repeats := 3
 	if quick {
@@ -51,13 +92,31 @@ func run(fig string, quick, smoke bool) error {
 		repeats = 1
 	}
 
-	want := func(name string) bool { return fig == "all" || fig == name }
+	// want remembers the figure name it matched, so show files the table
+	// under it in the JSON output without threading names through every
+	// call site.
+	cur := ""
+	want := func(name string) bool {
+		if fig == "all" || fig == name {
+			cur = name
+			return true
+		}
+		return false
+	}
 	ran := false
-	show := func(t experiment.Table, elapsed time.Duration) {
+	collected := make(map[string]jsonTable)
+	showNamed := func(name string, t experiment.Table, elapsed time.Duration) {
 		ran = true
 		fmt.Println(t.Render())
 		fmt.Printf("(took %.1fs)\n\n", elapsed.Seconds())
+		collected[name] = jsonTable{
+			Title:          t.Title,
+			Note:           t.Note,
+			ElapsedSeconds: elapsed.Seconds(),
+			Metrics:        tableMetrics(t),
+		}
 	}
+	show := func(t experiment.Table, elapsed time.Duration) { showNamed(cur, t, elapsed) }
 
 	if want("1") {
 		start := time.Now()
@@ -145,7 +204,7 @@ func run(fig string, quick, smoke bool) error {
 			return err
 		}
 		show(r.Fig09Table(), time.Since(start))
-		fmt.Println(r.Fig10Table().Render())
+		showNamed("10", r.Fig10Table(), 0)
 	}
 	if want("11") {
 		start := time.Now()
@@ -172,7 +231,7 @@ func run(fig string, quick, smoke bool) error {
 			return err
 		}
 		show(r.Fig12Table(), time.Since(start))
-		fmt.Println(r.Fig13Table().Render())
+		showNamed("13", r.Fig13Table(), 0)
 	}
 	if want("sweeping") {
 		start := time.Now()
@@ -233,9 +292,33 @@ func run(fig string, quick, smoke bool) error {
 		show(r.Table(), time.Since(start))
 	}
 
+	if want("approx") {
+		start := time.Now()
+		ap := params
+		if smoke {
+			ap.Run = 1 * time.Second
+			ap.Warmup = 300 * time.Millisecond
+		}
+		r, err := experiment.RunApprox(ap)
+		if err != nil {
+			return err
+		}
+		show(r.Table(), time.Since(start))
+	}
+
 	if !ran {
 		return fmt.Errorf("unknown figure %q (try: %s)", fig,
-			strings.Join([]string{"1", "2", "4", "5", "6", "7", "8", "9", "11", "12", "sweeping", "ablation", "throughput", "delaystats", "wire", "checkpoint", "lifecycle", "scale", "all"}, ", "))
+			strings.Join([]string{"1", "2", "4", "5", "6", "7", "8", "9", "11", "12", "sweeping", "ablation", "throughput", "delaystats", "wire", "checkpoint", "lifecycle", "scale", "approx", "all"}, ", "))
+	}
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(collected, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
 	}
 	return nil
 }

@@ -11,10 +11,13 @@
 //
 // Supported HA modes in multi-process operation are "none" and "active":
 // their data planes (duplicate delivery, deduplication, acknowledgment
-// trimming) are fully distributed. Passive and hybrid standby additionally
-// need the recovery control plane, which this reproduction implements
-// in-process (see internal/ha and internal/core); run those through the
-// library, the examples or streamha-demo.
+// trimming) are fully distributed. Passive, hybrid and approx standby
+// additionally need the recovery control plane, which this reproduction
+// implements in-process (see internal/ha and internal/core); run those
+// through the library, the examples or streamha-demo. -mode overrides
+// every subjob's configured mode (with -error-budget supplying the approx
+// budget), so one config file can be validated against any mode spelling
+// even where the mode itself cannot run multi-process.
 //
 // Example config:
 //
@@ -106,6 +109,9 @@ func main() {
 	restore := flag.Bool("restore", false, "restore hosted subjob copies from the catalog before starting (requires -catalog-dir)")
 	checkpointMS := flag.Int("checkpoint-ms", 50, "checkpoint interval in milliseconds when -catalog-dir is set")
 	rebaseEvery := flag.Int("checkpoint-rebase", 4, "with -catalog-dir, take up to N-1 delta checkpoints between full snapshots (1: always full)")
+	mode := flag.String("mode", "", "override every subjob's HA mode (one of the ha.Modes names; approx takes its budget from -error-budget)")
+	errorBudget := flag.Int("error-budget", 0, "approx-mode error budget: max in-flight elements a failover may lose (required > 0 with -mode approx)")
+	metricsTTLMS := flag.Int("metrics-ttl-ms", 0, "cache metrics sources for this many milliseconds between scrapes of /metrics and /metrics.json (0: always re-evaluate)")
 	flag.Parse()
 	if *configPath == "" || *process == "" {
 		flag.Usage()
@@ -122,6 +128,9 @@ func main() {
 		restore:      *restore,
 		checkpointMS: *checkpointMS,
 		rebaseEvery:  *rebaseEvery,
+		mode:         *mode,
+		errorBudget:  *errorBudget,
+		metricsTTLMS: *metricsTTLMS,
 	}
 	if err := run(*configPath, *process, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "streamha-node: %v\n", err)
@@ -138,6 +147,9 @@ type nodeOptions struct {
 	restore      bool
 	checkpointMS int
 	rebaseEvery  int
+	mode         string
+	errorBudget  int
+	metricsTTLMS int
 }
 
 func run(configPath, process string, opts nodeOptions) error {
@@ -153,13 +165,28 @@ func run(configPath, process string, opts nodeOptions) error {
 	if !ok {
 		return fmt.Errorf("process %q not in config", process)
 	}
+	if opts.mode != "" {
+		// -mode overrides every subjob; "approx" composes -error-budget
+		// into the canonical "approx:<n>" spelling, so a zero or negative
+		// budget fails ParseModeBudget's validation below.
+		spec := opts.mode
+		if spec == "approx" {
+			spec = fmt.Sprintf("approx:%d", opts.errorBudget)
+		}
+		if _, _, err := ha.ParseModeBudget(spec); err != nil {
+			return err
+		}
+		for i := range dep.Job.Subjobs {
+			dep.Job.Subjobs[i].Mode = spec
+		}
+	}
 	for _, sj := range dep.Job.Subjobs {
 		mode, err := ha.ParseMode(sj.Mode)
 		if err != nil {
 			return fmt.Errorf("subjob %s: %w", sj.ID, err)
 		}
 		if mode != ha.ModeNone && mode != ha.ModeActive {
-			return fmt.Errorf("subjob %s: mode %q is not supported multi-process (use none or active)", sj.ID, sj.Mode)
+			return fmt.Errorf("subjob %s: mode %q is not supported multi-process (use none or active; passive/hybrid/approx run in-process)", sj.ID, sj.Mode)
 		}
 	}
 
@@ -241,6 +268,9 @@ func run(configPath, process string, opts nodeOptions) error {
 	// Every component this process hosts registers in one metrics registry,
 	// polled for the periodic report and the exit snapshot.
 	reg := metrics.NewRegistry()
+	if opts.metricsTTLMS > 0 {
+		reg.SetSourceTTL(time.Duration(opts.metricsTTLMS) * time.Millisecond)
+	}
 	reg.Register("transport", func() any { return seg.Stats() })
 
 	// Live metrics endpoint: the same registry snapshot the periodic report

@@ -99,6 +99,12 @@ type Config struct {
 	// first checkpoint after a restart is automatically full (no delta
 	// baseline survives the process), so the chain re-roots cleanly.
 	SeqBase uint64
+	// Partial switches the manager to bounded-error checkpointing (the
+	// approx standby policy): after an initial full snapshot every sweep
+	// captures an unchained partial frame — hot state ranges only, no
+	// output queue, no pipes — instead of a full or chained delta.
+	// ForceFull/Resume still force the next capture full.
+	Partial bool
 }
 
 // Manager is the common interface of the checkpointing variants.
@@ -276,7 +282,11 @@ func (s *Sweeping) CheckpointNow() time.Duration {
 		s.mu.Unlock()
 		return 0
 	}
-	tryDelta := !s.fullNext && wantDeltaLocked(&s.cfg, s.sinceFull, s.lastOutNext, len(s.pending))
+	// The first capture in partial mode is still a full snapshot: it seeds
+	// the standby's baseline image that later hot-range frames patch.
+	tryPartial := s.cfg.Partial && !s.fullNext && s.lastOutNext != 0
+	tryDelta := !s.cfg.Partial && !s.fullNext &&
+		wantDeltaLocked(&s.cfg, s.sinceFull, s.lastOutNext, len(s.pending))
 	s.fullNext = false
 	outSince := s.lastOutNext
 	s.mu.Unlock()
@@ -287,15 +297,19 @@ func (s *Sweeping) CheckpointNow() time.Duration {
 	start := s.cfg.Clock.Now()
 	var snap *subjob.Snapshot
 	var delta *subjob.Delta
+	var part *subjob.Partial
 	rt.WithPaused(func() {
-		if tryDelta {
+		switch {
+		case tryPartial:
+			part = rt.CapturePartial()
+		case tryDelta:
 			delta, _ = rt.CaptureDelta(subjob.DeltaOptions{
 				OutputSince:   outSince,
 				IncludeOutput: true,
 				OnlyPE:        -1,
 			})
 		}
-		if delta == nil {
+		if part == nil && delta == nil {
 			snap = rt.CaptureFull()
 		}
 	})
@@ -304,11 +318,16 @@ func (s *Sweeping) CheckpointNow() time.Duration {
 	var units int
 	var consumed map[string]uint64
 	var outNext uint64
-	if delta != nil {
+	switch {
+	case part != nil:
+		units = part.ElementUnits()
+		consumed = part.Consumed
+		outNext = part.OutNext
+	case delta != nil:
 		units = delta.ElementUnits()
 		consumed = delta.Consumed
 		outNext = delta.Output.NextSeq
-	} else {
+	default:
 		units = snap.ElementUnits()
 		consumed = snap.Consumed
 		outNext = snap.Output.NextSeq
@@ -317,10 +336,14 @@ func (s *Sweeping) CheckpointNow() time.Duration {
 	s.mu.Lock()
 	s.seq++
 	seq := s.seq
-	if delta != nil {
+	switch {
+	case delta != nil:
 		delta.PrevSeq = seq - 1
 		s.sinceFull++
-	} else {
+	case part != nil:
+		// Partials are unchained; they neither extend nor reset the delta
+		// chain bookkeeping.
+	default:
 		s.sinceFull = 0
 	}
 	s.lastOutNext = outNext
@@ -331,7 +354,7 @@ func (s *Sweeping) CheckpointNow() time.Duration {
 	s.unitsTotal += int64(units)
 	s.mu.Unlock()
 
-	s.ship.enqueue(shipJob{seq: seq, snap: snap, delta: delta, units: units})
+	s.ship.enqueue(shipJob{seq: seq, snap: snap, delta: delta, part: part, units: units})
 	return paused
 }
 
@@ -408,6 +431,7 @@ type ManagerStats struct {
 	Pending      int     `json:"pending_acks"`
 	Fulls        int     `json:"fulls_shipped"`
 	Deltas       int     `json:"deltas_shipped"`
+	Partials     int     `json:"partials_shipped"`
 	MeanPauseMS  float64 `json:"mean_pause_ms"`
 	MeanEncodeMS float64 `json:"mean_encode_ms"`
 	MeanShipMS   float64 `json:"mean_ship_ms"`
@@ -415,6 +439,7 @@ type ManagerStats struct {
 	TotalUnits   int64   `json:"total_size_units"`
 	BytesFull    int64   `json:"bytes_full"`
 	BytesDelta   int64   `json:"bytes_delta"`
+	BytesPartial int64   `json:"bytes_partial"`
 	// DeltaRatio is mean delta bytes over mean full bytes; small is good.
 	DeltaRatio float64 `json:"delta_ratio"`
 }

@@ -15,11 +15,12 @@ import (
 const defaultMaxInFlight = 2
 
 // shipJob is one captured checkpoint waiting for its out-of-pause encode
-// and ship. Exactly one of snap and delta is set.
+// and ship. Exactly one of snap, delta and part is set.
 type shipJob struct {
 	seq   uint64
 	snap  *subjob.Snapshot
 	delta *subjob.Delta
+	part  *subjob.Partial
 	units int
 }
 
@@ -39,14 +40,16 @@ type shipper struct {
 	// buf is the recycled encode buffer, touched only by the run goroutine.
 	buf []byte
 
-	mu          sync.Mutex
-	shipped     int
-	fulls       int
-	deltas      int
-	bytesFull   int64
-	bytesDelta  int64
-	encodeTotal time.Duration
-	shipTotal   time.Duration
+	mu           sync.Mutex
+	shipped      int
+	fulls        int
+	deltas       int
+	partials     int
+	bytesFull    int64
+	bytesDelta   int64
+	bytesPartial int64
+	encodeTotal  time.Duration
+	shipTotal    time.Duration
 
 	// lastFullBytes and deltaSinceFull drive the adaptive rebase policy:
 	// once the deltas shipped since the last full snapshot outweigh that
@@ -116,9 +119,12 @@ func (sh *shipper) process(j shipJob) {
 
 	clk := sh.cfg.Clock
 	t0 := clk.Now()
-	if j.snap != nil {
+	switch {
+	case j.snap != nil:
 		sh.buf = j.snap.AppendTo(sh.buf[:0])
-	} else {
+	case j.part != nil:
+		sh.buf = j.part.AppendTo(sh.buf[:0])
+	default:
 		sh.buf = j.delta.AppendTo(sh.buf[:0])
 	}
 	// The message owns its payload (the Mem transport shares slices by
@@ -139,12 +145,16 @@ func (sh *shipper) process(j shipJob) {
 
 	sh.mu.Lock()
 	sh.shipped++
-	if j.snap != nil {
+	switch {
+	case j.snap != nil:
 		sh.fulls++
 		sh.bytesFull += int64(len(state))
 		sh.lastFullBytes = int64(len(state))
 		sh.deltaSinceFull = 0
-	} else {
+	case j.part != nil:
+		sh.partials++
+		sh.bytesPartial += int64(len(state))
+	default:
 		sh.deltas++
 		sh.bytesDelta += int64(len(state))
 		sh.deltaSinceFull += int64(len(state))
@@ -172,8 +182,10 @@ func (sh *shipper) statsInto(st *ManagerStats) {
 	defer sh.mu.Unlock()
 	st.Fulls = sh.fulls
 	st.Deltas = sh.deltas
+	st.Partials = sh.partials
 	st.BytesFull = sh.bytesFull
 	st.BytesDelta = sh.bytesDelta
+	st.BytesPartial = sh.bytesPartial
 	if sh.shipped > 0 {
 		st.MeanEncodeMS = float64(sh.encodeTotal) / float64(sh.shipped) / 1e6
 		st.MeanShipMS = float64(sh.shipTotal) / float64(sh.shipped) / 1e6

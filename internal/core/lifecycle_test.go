@@ -392,3 +392,63 @@ func TestLifecyclePassiveOptionsDefaults(t *testing.T) {
 		t.Fatal("explicit threshold overridden")
 	}
 }
+
+// TestPolicyContractFiveModes pins the static lifecycle contract of all
+// five registered policies in one grid. Approx must match hybrid exactly —
+// bounded-error recovery reuses the hybrid transition table and adds no
+// states, events or timers of its own.
+func TestPolicyContractFiveModes(t *testing.T) {
+	opts := Options{FailStopAfter: 250 * time.Millisecond}
+	grid := []struct {
+		p            StandbyPolicy
+		mode         string
+		initial      State
+		needsStandby bool
+		promoteAfter time.Duration
+	}{
+		{NewNonePolicy(0), "none", Unprotected, false, 0},
+		{NewActivePolicy(0), "active", Protected, true, 0},
+		{NewPassivePolicy(PassiveOptions{}), "passive", Protected, true, 0},
+		{NewHybridPolicy(opts), "hybrid", Protected, true, 250 * time.Millisecond},
+		{NewApproxPolicy(opts, ErrorBudget{MaxLostElements: 100}), "approx", Protected, true, 250 * time.Millisecond},
+	}
+	seen := map[string]bool{}
+	for _, g := range grid {
+		if got := g.p.Mode(); got != g.mode {
+			t.Fatalf("policy %T mode %q, want %q", g.p, got, g.mode)
+		}
+		if got := g.p.InitialState(); got != g.initial {
+			t.Fatalf("%s initial state %s, want %s", g.mode, got, g.initial)
+		}
+		if got := g.p.NeedsStandbyMachine(); got != g.needsStandby {
+			t.Fatalf("%s needs standby %v, want %v", g.mode, got, g.needsStandby)
+		}
+		if got := g.p.PromoteAfter(); got != g.promoteAfter {
+			t.Fatalf("%s promote-after %s, want %s", g.mode, got, g.promoteAfter)
+		}
+		seen[g.mode] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("grid covers %d distinct modes, want 5", len(seen))
+	}
+}
+
+// TestErrorBudgetZero pins the degeneration predicate: only a positive
+// element bound or staleness bound makes a budget non-zero.
+func TestErrorBudgetZero(t *testing.T) {
+	cases := []struct {
+		b    ErrorBudget
+		zero bool
+	}{
+		{ErrorBudget{}, true},
+		{ErrorBudget{MaxLostElements: -1}, true},
+		{ErrorBudget{MaxLostElements: 1}, false},
+		{ErrorBudget{MaxStaleness: time.Second}, false},
+		{ErrorBudget{MaxLostElements: 10, MaxStaleness: time.Second}, false},
+	}
+	for _, c := range cases {
+		if got := c.b.Zero(); got != c.zero {
+			t.Fatalf("budget %+v Zero() = %v, want %v", c.b, got, c.zero)
+		}
+	}
+}

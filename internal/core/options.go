@@ -142,6 +142,25 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// ErrorBudget bounds the divergence the approx standby policy may admit
+// at failover. A budgeted failover promotes the standby from its last
+// partial checkpoint and skips the output-queue replay entirely when the
+// estimated loss fits the budget; otherwise it falls back to the exact
+// hybrid replay.
+type ErrorBudget struct {
+	// MaxLostElements bounds how many in-flight elements a budgeted
+	// failover may skip instead of replaying.
+	MaxLostElements int
+	// MaxStaleness bounds the age of the standby's newest applied
+	// checkpoint at failover; staler state forces an exact replay. Zero
+	// leaves staleness unbounded.
+	MaxStaleness time.Duration
+}
+
+// Zero reports whether the budget admits no loss at all, in which case
+// the approx policy must behave exactly like hybrid.
+func (b ErrorBudget) Zero() bool { return b.MaxLostElements <= 0 && b.MaxStaleness <= 0 }
+
 // PassiveOptions tunes conventional passive standby.
 type PassiveOptions struct {
 	// HeartbeatInterval is the detector's ping period (default 20 ms).

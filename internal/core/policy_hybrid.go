@@ -46,7 +46,11 @@ func (hp *HybridPolicy) PromoteAfter() time.Duration { return hp.opts.FailStopAf
 // Arm implements StandbyPolicy: deploy the standby side (pre-deployed and
 // early-connected unless ablated), start the sweeping checkpoint manager
 // on the primary and the heartbeat detector on the standby machine.
-func (hp *HybridPolicy) Arm(lc *Lifecycle) error {
+func (hp *HybridPolicy) Arm(lc *Lifecycle) error { return hp.arm(lc, false) }
+
+// arm is the shared body; partial selects bounded-error checkpointing for
+// the sweeping manager (the approx policy's wrapper sets it).
+func (hp *HybridPolicy) arm(lc *Lifecycle, partial bool) error {
 	spec := lc.cfg.Spec
 	secM := lc.cfg.SecondaryMachine
 
@@ -96,6 +100,7 @@ func (hp *HybridPolicy) Arm(lc *Lifecycle) error {
 		RebaseEvery:    hp.opts.CheckpointRebaseEvery,
 		RebaseAdaptive: hp.opts.CheckpointRebaseAdaptive,
 		MaxInFlight:    hp.opts.CheckpointMaxInFlight,
+		Partial:        partial,
 		SeqBase:        lc.seqBase(),
 	})
 	lc.mu.Lock()
@@ -247,7 +252,11 @@ func positionsCover(standby, primary map[string]uint64) bool {
 // permanent primary after the failure persisted past the fail-stop
 // threshold, and — when a spare machine is available — a new suspended
 // standby is instantiated there, re-protecting the subjob.
-func (hp *HybridPolicy) Promote(lc *Lifecycle, _ time.Time) State {
+func (hp *HybridPolicy) Promote(lc *Lifecycle, _ time.Time) State { return hp.promote(lc, false) }
+
+// promote is the shared body; partial selects bounded-error checkpointing
+// for the re-armed sweeping manager (the approx policy's wrapper sets it).
+func (hp *HybridPolicy) promote(lc *Lifecycle, partial bool) State {
 	lc.transient(Promoted)
 	lc.mu.Lock()
 	oldPrimary := lc.primary
@@ -328,6 +337,7 @@ func (hp *HybridPolicy) Promote(lc *Lifecycle, _ time.Time) State {
 		RebaseEvery:    hp.opts.CheckpointRebaseEvery,
 		RebaseAdaptive: hp.opts.CheckpointRebaseAdaptive,
 		MaxInFlight:    hp.opts.CheckpointMaxInFlight,
+		Partial:        partial,
 		SeqBase:        lc.seqBase(),
 	})
 	newAcker := checkpoint.NewAcker(newSec, lc.clk, hp.opts.AckInterval)

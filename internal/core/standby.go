@@ -13,6 +13,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"streamha/internal/checkpoint"
 	"streamha/internal/subjob"
@@ -44,9 +45,20 @@ type StandbyStore struct {
 	chain        uint64
 	chainOK      bool
 	onChainBreak func()
-	work         chan storeReq
-	stop         chan struct{}
-	done         chan struct{}
+
+	// Bounded-error (approx) bookkeeping. Partial frames are unchained:
+	// partialSeq only dedups stale/duplicate frames, and lastRefresh is
+	// the clock reading of the newest applied refresh (full or partial) —
+	// the approx policy's staleness measure at failover. coldBytes is the
+	// cold remainder the last applied partial did not cover.
+	partialSeq     uint64
+	partialApplied int
+	partialSkipped int
+	lastRefresh    time.Time
+	coldBytes      uint64
+	work           chan storeReq
+	stop           chan struct{}
+	done           chan struct{}
 }
 
 type storeReq struct {
@@ -136,6 +148,10 @@ func (s *StandbyStore) run() {
 }
 
 func (s *StandbyStore) apply(req storeReq) {
+	if subjob.IsPartial(req.msg.State) {
+		s.applyPartial(req)
+		return
+	}
 	snap, delta, err := subjob.DecodeCheckpoint(req.msg.State)
 	if err != nil {
 		return
@@ -197,6 +213,7 @@ func (s *StandbyStore) apply(req storeReq) {
 		s.applied++
 		s.chain = req.msg.Seq
 		s.chainOK = true
+		s.lastRefresh = rt.Machine().Clock().Now()
 	} else {
 		s.skipped++
 		// A live standby's state supersedes checkpoints, a stale checkpoint
@@ -239,6 +256,78 @@ func (s *StandbyStore) apply(req storeReq) {
 		Command: "ckpt-stored",
 		Seq:     req.msg.Seq,
 	})
+}
+
+// applyPartial handles an unchained bounded-error frame. Partials patch
+// only the hot byte ranges of the standby's state, so a frame that cannot
+// be applied — the standby is active, ahead, or the patch misfits — is
+// simply skipped: the cold remainder stays stale, which is exactly the
+// divergence the approx policy's error budget accounts for. Every frame
+// that decodes is acknowledged, letting upstream trim on the partial
+// cadence (the source of approx's retention savings), and none are
+// persisted to the catalog: a cold restart restores from the last full
+// snapshot, approximate by design.
+func (s *StandbyStore) applyPartial(req storeReq) {
+	part, err := subjob.DecodePartial(req.msg.State)
+	if err != nil {
+		return
+	}
+	rt := s.runtime()
+
+	s.mu.Lock()
+	stale := s.partialApplied > 0 && req.msg.Seq <= s.partialSeq
+	s.mu.Unlock()
+
+	applied := false
+	if !stale {
+		rt.Exclusive(func() {
+			if !rt.Suspended() {
+				return
+			}
+			if !positionsCover(part.Consumed, rt.ConsumedPositions()) {
+				return
+			}
+			applied = rt.ApplyPartial(part) == nil
+		})
+	}
+
+	s.mu.Lock()
+	if applied {
+		s.partialApplied++
+		s.partialSeq = req.msg.Seq
+		s.lastRefresh = rt.Machine().Clock().Now()
+		s.coldBytes = part.ColdBytes
+		// A partial mutates state out of band of the delta chain: any delta
+		// captured against the pre-partial base no longer folds cleanly.
+		s.chainOK = false
+	} else {
+		s.partialSkipped++
+	}
+	s.mu.Unlock()
+
+	rt.Machine().Send(req.from, transport.Message{
+		Kind:    transport.KindControl,
+		Stream:  subjob.CkptAckStream(rt.Spec().ID),
+		Command: "ckpt-stored",
+		Seq:     req.msg.Seq,
+	})
+}
+
+// PartialStats returns how many unchained partial frames refreshed the
+// standby, how many were skipped, and the cold bytes the last applied
+// frame did not cover.
+func (s *StandbyStore) PartialStats() (applied, skipped int, coldBytes uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.partialApplied, s.partialSkipped, s.coldBytes
+}
+
+// LastRefresh returns when a checkpoint (full, delta or partial) last
+// refreshed the standby's in-memory state; the zero time if none has.
+func (s *StandbyStore) LastRefresh() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastRefresh
 }
 
 // SetOnChainBreak installs a callback invoked (from the store goroutine)

@@ -150,6 +150,12 @@ type testbedConfig struct {
 	// hybrid/ps option overrides.
 	hybrid core.Options
 	ps     ha.PSOptions
+	// approx is the error budget of approx-mode subjobs.
+	approx core.ErrorBudget
+	// hotSlots concentrates each PE's writes on the first hotSlots state
+	// slots (see pe.CounterLogic.HotSlots), giving the approx mode's
+	// partial frames a hot/cold split to exploit; 0 spreads writes evenly.
+	hotSlots int
 	// burst shaping for the source, for detector experiments.
 	burstOn, burstOff time.Duration
 	trackIDs          bool
@@ -186,7 +192,7 @@ func newTestbed(cfg testbedConfig) (*testbed, error) {
 		for j := range pes {
 			pes[j] = subjob.PESpec{
 				Name:     fmt.Sprintf("pe%d", j),
-				NewLogic: newCounterLogic(p.StatePad),
+				NewLogic: newHotCounterLogic(p.StatePad, cfg.hotSlots),
 				Cost:     p.PECost,
 			}
 		}
@@ -224,6 +230,7 @@ func newTestbed(cfg testbedConfig) (*testbed, error) {
 		Subjobs:     defs,
 		Hybrid:      hybrid,
 		PS:          ps,
+		Approx:      cfg.approx,
 		AckInterval: p.CheckpointInterval,
 		TrackIDs:    cfg.trackIDs,
 	})
@@ -240,6 +247,10 @@ func newTestbed(cfg testbedConfig) (*testbed, error) {
 
 func newCounterLogic(pad int) func() pe.Logic {
 	return func() pe.Logic { return &pe.CounterLogic{Pad: pad} }
+}
+
+func newHotCounterLogic(pad, hotSlots int) func() pe.Logic {
+	return func() pe.Logic { return &pe.CounterLogic{Pad: pad, HotSlots: hotSlots} }
 }
 
 func (tb *testbed) close() {

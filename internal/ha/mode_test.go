@@ -1,11 +1,21 @@
 package ha
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
 	"streamha/internal/core"
 )
+
+// parseName spells mode name as ParseMode input: approx carries its error
+// budget in the spelling, the other modes are bare.
+func parseName(name string) string {
+	if name == "approx" {
+		return "approx:100"
+	}
+	return name
+}
 
 func TestModeString(t *testing.T) {
 	cases := map[Mode]string{
@@ -13,6 +23,7 @@ func TestModeString(t *testing.T) {
 		ModeActive:  "active",
 		ModePassive: "passive",
 		ModeHybrid:  "hybrid",
+		ModeApprox:  "approx",
 	}
 	for m, want := range cases {
 		if m.String() != want {
@@ -25,13 +36,52 @@ func TestModeString(t *testing.T) {
 }
 
 func TestParseMode(t *testing.T) {
-	for _, name := range []string{"none", "active", "passive", "hybrid"} {
-		m, err := ParseMode(name)
+	for _, name := range Modes() {
+		m, err := ParseMode(parseName(name))
 		if err != nil {
-			t.Fatalf("ParseMode(%q): %v", name, err)
+			t.Fatalf("ParseMode(%q): %v", parseName(name), err)
 		}
 		if m.String() != name {
 			t.Fatalf("round trip %q -> %v", name, m)
+		}
+	}
+}
+
+func TestParseModeBudget(t *testing.T) {
+	m, b, err := ParseModeBudget("approx:250")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != ModeApprox || b.MaxLostElements != 250 {
+		t.Fatalf("ParseModeBudget(approx:250) = %v, %+v", m, b)
+	}
+	if b.Zero() {
+		t.Fatal("a positive budget must not be zero")
+	}
+	m, b, err = ParseModeBudget("hybrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != ModeHybrid || !b.Zero() {
+		t.Fatalf("ParseModeBudget(hybrid) = %v, %+v", m, b)
+	}
+}
+
+func TestParseModeApproxBudgetRejected(t *testing.T) {
+	// The approx mode must not be creatable without a positive budget: a
+	// bare name, a zero or negative count, and garbage all fail, each with
+	// the same deterministic message for the same input.
+	for _, bad := range []string{"approx", "approx:", "approx:0", "approx:-5", "approx:lots"} {
+		_, err := ParseMode(bad)
+		if err == nil {
+			t.Fatalf("ParseMode(%q): want error", bad)
+		}
+		_, err2 := ParseMode(bad)
+		if err.Error() != err2.Error() {
+			t.Fatalf("ParseMode(%q) error not deterministic: %q vs %q", bad, err, err2)
+		}
+		if !strings.Contains(err.Error(), "budget") {
+			t.Fatalf("ParseMode(%q) error does not mention the budget: %q", bad, err)
 		}
 	}
 }
@@ -65,8 +115,11 @@ func TestParseModeErrorListsValidNames(t *testing.T) {
 }
 
 func TestModesOrder(t *testing.T) {
-	want := []string{"none", "active", "passive", "hybrid"}
+	want := []string{"active", "approx", "hybrid", "none", "passive"}
 	got := Modes()
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("Modes() not sorted: %v", got)
+	}
 	if len(got) != len(want) {
 		t.Fatalf("Modes() = %v", got)
 	}
@@ -77,13 +130,36 @@ func TestModesOrder(t *testing.T) {
 	}
 }
 
+// TestModesPolicyDrift pins Modes(), ParseMode/ParseModeBudget and
+// policyFor together: every listed name parses (with a budget where the
+// spelling requires one) and resolves to a policy reporting that name, so
+// registering a policy without listing it — or listing one without a
+// parse or dispatch arm — fails here.
+func TestModesPolicyDrift(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, name := range Modes() {
+		if seen[name] {
+			t.Fatalf("Modes() lists %q twice", name)
+		}
+		seen[name] = true
+		m, b, err := ParseModeBudget(parseName(name))
+		if err != nil {
+			t.Fatalf("ParseModeBudget(%q): %v", parseName(name), err)
+		}
+		pol := policyFor(m, core.Options{}, PSOptions{}, b, 0)
+		if pol.Mode() != name {
+			t.Fatalf("policyFor(%s).Mode() = %q", name, pol.Mode())
+		}
+	}
+}
+
 func TestPolicyForModes(t *testing.T) {
 	for _, name := range Modes() {
-		m, err := ParseMode(name)
+		m, err := ParseMode(parseName(name))
 		if err != nil {
 			t.Fatal(err)
 		}
-		pol := policyFor(m, core.Options{}, PSOptions{}, 0)
+		pol := policyFor(m, core.Options{}, PSOptions{}, core.ErrorBudget{MaxLostElements: 100}, 0)
 		if pol.Mode() != name {
 			t.Fatalf("policyFor(%s).Mode() = %q", name, pol.Mode())
 		}

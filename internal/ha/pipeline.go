@@ -95,10 +95,16 @@ type PipelineConfig struct {
 	SinkMachine string
 	// Subjobs is the chain, upstream to downstream.
 	Subjobs []SubjobDef
-	// Hybrid tunes hybrid-mode subjobs (intervals, costs, ablations).
+	// Hybrid tunes hybrid-mode subjobs (intervals, costs, ablations); it
+	// also tunes approx-mode subjobs, which share the hybrid machinery.
 	Hybrid core.Options
 	// PS tunes passive-standby subjobs.
 	PS PSOptions
+	// Approx is the error budget of approx-mode subjobs: how many
+	// in-flight elements a budgeted failover may skip instead of
+	// replaying, and how stale the promoted standby may be. The zero
+	// budget degenerates approx to exact hybrid behavior.
+	Approx core.ErrorBudget
 	// AckInterval drives the ackers of NONE/AS copies and the sink
 	// (default: the hybrid checkpoint interval, seeding the sweep).
 	AckInterval time.Duration
@@ -379,7 +385,7 @@ func (p *Pipeline) buildGroup(i, k int, def SubjobDef) (*Group, error) {
 	plumb(primary)
 	primary.Start()
 
-	pol := policyFor(def.Mode, p.cfg.Hybrid, p.cfg.PS, p.cfg.AckInterval)
+	pol := policyFor(def.Mode, p.cfg.Hybrid, p.cfg.PS, p.cfg.Approx, p.cfg.AckInterval)
 	secM := cl.Machine(def.secondaryOf(k))
 	if pol.NeedsStandbyMachine() && secM == nil {
 		return nil, fmt.Errorf("ha: subjob %s: unknown secondary machine %q", spec.ID, def.secondaryOf(k))
@@ -609,4 +615,7 @@ func registerGroupMetrics(reg *metrics.Registry, g *Group) {
 		}
 		return nil
 	})
+	if dr, ok := lc.Policy().(core.DivergenceReporter); ok {
+		reg.Register("subjob/"+id+"/divergence", func() any { return dr.Divergence() })
+	}
 }

@@ -308,7 +308,7 @@ func (p *Pipeline) ScaleOut(stage int, pl RescalePlacement, opt RescaleOptions) 
 
 	// Protect the new instance: a full HA group, same mode as its stage.
 	g := &Group{Def: def, Spec: spec, Mode: def.Mode, Stage: stage, Part: n}
-	pol := policyFor(def.Mode, p.cfg.Hybrid, p.cfg.PS, p.cfg.AckInterval)
+	pol := policyFor(def.Mode, p.cfg.Hybrid, p.cfg.PS, p.cfg.Approx, p.cfg.AckInterval)
 	secM := cl.Machine(pl.Secondary)
 	if pol.NeedsStandbyMachine() && secM == nil {
 		return nil, fmt.Errorf("ha: ScaleOut: unknown secondary machine %q", pl.Secondary)

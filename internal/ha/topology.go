@@ -68,10 +68,11 @@ type TopologyConfig struct {
 	Sources []TopologySource
 	Subjobs []TopologySubjob
 	Sinks   []TopologySink
-	// Hybrid and PS tune the HA policies, AckInterval the ackers and
-	// sinks, as in PipelineConfig.
+	// Hybrid, PS and Approx tune the HA policies, AckInterval the ackers
+	// and sinks, as in PipelineConfig.
 	Hybrid      core.Options
 	PS          PSOptions
+	Approx      core.ErrorBudget
 	AckInterval time.Duration
 }
 
@@ -307,7 +308,7 @@ func (t *Topology) buildGroup(def TopologySubjob) (*Group, error) {
 	}
 	primary.Start()
 
-	pol := policyFor(def.Mode, t.cfg.Hybrid, t.cfg.PS, t.cfg.AckInterval)
+	pol := policyFor(def.Mode, t.cfg.Hybrid, t.cfg.PS, t.cfg.Approx, t.cfg.AckInterval)
 	if pol.NeedsStandbyMachine() && cl.Machine(def.Secondary) == nil {
 		return nil, fmt.Errorf("ha: subjob %s: unknown secondary machine %q", def.ID, def.Secondary)
 	}

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRegistrySnapshotAlwaysLiveWithoutTTL(t *testing.T) {
+	r := NewRegistry()
+	evals := 0
+	r.Register("counter", func() any { evals++; return evals })
+
+	if v := r.Snapshot()["counter"]; v != 1 {
+		t.Fatalf("first snapshot %v, want 1", v)
+	}
+	if v := r.Snapshot()["counter"]; v != 2 {
+		t.Fatalf("second snapshot %v, want 2 (no TTL set: must re-evaluate)", v)
+	}
+}
+
+func TestRegistrySourceTTLServesCachedValue(t *testing.T) {
+	r := NewRegistry()
+	evals := 0
+	r.Register("counter", func() any { evals++; return evals })
+	r.SetSourceTTL(time.Hour)
+
+	if v := r.Snapshot()["counter"]; v != 1 {
+		t.Fatalf("first snapshot %v, want 1", v)
+	}
+	for i := 0; i < 3; i++ {
+		if v := r.Snapshot()["counter"]; v != 1 {
+			t.Fatalf("snapshot within TTL %v, want cached 1", v)
+		}
+	}
+	if evals != 1 {
+		t.Fatalf("source evaluated %d times within TTL, want 1", evals)
+	}
+}
+
+func TestRegistrySourceTTLExpires(t *testing.T) {
+	r := NewRegistry()
+	evals := 0
+	r.Register("counter", func() any { evals++; return evals })
+	r.SetSourceTTL(30 * time.Millisecond)
+
+	if v := r.Snapshot()["counter"]; v != 1 {
+		t.Fatalf("first snapshot %v, want 1", v)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if v := r.Snapshot()["counter"]; v != 2 {
+		t.Fatalf("snapshot after TTL expiry %v, want re-evaluated 2", v)
+	}
+}
+
+func TestRegistrySourceTTLStalenessBounded(t *testing.T) {
+	// The cache trades staleness for scrape cost; the staleness must never
+	// exceed the TTL. Pin it by re-registering (which drops the cached
+	// value) and by disabling the TTL (which must go back to live reads).
+	r := NewRegistry()
+	val := 1
+	r.Register("gauge", func() any { return val })
+	r.SetSourceTTL(time.Hour)
+
+	if v := r.Snapshot()["gauge"]; v != 1 {
+		t.Fatalf("snapshot %v, want 1", v)
+	}
+	val = 2
+	if v := r.Snapshot()["gauge"]; v != 1 {
+		t.Fatalf("snapshot %v, want stale 1 within TTL", v)
+	}
+
+	// Re-registering a source invalidates its cache entry.
+	r.Register("gauge", func() any { return val })
+	if v := r.Snapshot()["gauge"]; v != 2 {
+		t.Fatalf("snapshot after re-register %v, want live 2", v)
+	}
+
+	// Disabling the TTL drops the cache entirely.
+	val = 3
+	r.SetSourceTTL(0)
+	if v := r.Snapshot()["gauge"]; v != 3 {
+		t.Fatalf("snapshot after disabling TTL %v, want live 3", v)
+	}
+}

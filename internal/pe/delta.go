@@ -37,6 +37,18 @@ type DeltaLogic interface {
 	ResetDelta()
 }
 
+// PartialLogic is the optional bounded-error capability of a DeltaLogic.
+// The approx standby policy ships DeltaSnapshot patches as unchained
+// partial checkpoints: each frame carries only the hot (recently written)
+// byte ranges, and a standby that misses a frame simply keeps stale cold
+// bytes instead of breaking a chain. StateBytes reports the current full
+// snapshot length so the policy can account the cold remainder — the
+// bytes a partial frame did NOT cover — against the error budget.
+type PartialLogic interface {
+	DeltaLogic
+	StateBytes() int
+}
+
 // Patch encoding: a compact byte-range diff against a full snapshot.
 //
 //	uvarint finalLen   — length of the full snapshot after applying

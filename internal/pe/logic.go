@@ -70,8 +70,9 @@ type CounterLogic struct {
 }
 
 var (
-	_ Logic      = (*CounterLogic)(nil)
-	_ DeltaLogic = (*CounterLogic)(nil)
+	_ Logic        = (*CounterLogic)(nil)
+	_ DeltaLogic   = (*CounterLogic)(nil)
+	_ PartialLogic = (*CounterLogic)(nil)
 )
 
 func (l *CounterLogic) padLen() int {
@@ -249,6 +250,10 @@ func (l *CounterLogic) ResetDelta() {
 	l.baseline = true
 }
 
+// StateBytes implements PartialLogic: the 16-byte counter head plus the
+// keyed pad.
+func (l *CounterLogic) StateBytes() int { return 16 + l.padLen() }
+
 // Count returns the number of elements processed, for tests.
 func (l *CounterLogic) Count() uint64 { return l.count }
 
@@ -328,8 +333,9 @@ type WindowSumLogic struct {
 }
 
 var (
-	_ Logic      = (*WindowSumLogic)(nil)
-	_ DeltaLogic = (*WindowSumLogic)(nil)
+	_ Logic        = (*WindowSumLogic)(nil)
+	_ DeltaLogic   = (*WindowSumLogic)(nil)
+	_ PartialLogic = (*WindowSumLogic)(nil)
 )
 
 // Process implements Logic.
@@ -392,3 +398,7 @@ func (l *WindowSumLogic) ApplyDelta(patch []byte) error {
 
 // ResetDelta implements DeltaLogic (no tracking to align).
 func (l *WindowSumLogic) ResetDelta() {}
+
+// StateBytes implements PartialLogic: every delta re-ships the whole
+// 24-byte window state, so a partial frame leaves no cold remainder.
+func (l *WindowSumLogic) StateBytes() int { return 24 }

@@ -92,6 +92,12 @@ type Output struct {
 	// partition. Partition-filtered subscribers consult it per batch.
 	router *Partitioner
 	onTrim func()
+
+	// assumedLost counts retained elements deliberately skipped (not
+	// replayed) by ActivateSkipReplay — the output-queue share of the
+	// approx policy's admitted loss. skippedReplays counts the skips.
+	assumedLost    uint64
+	skippedReplays int
 }
 
 // NewOutput creates an output queue for streamID that transmits via send.
@@ -211,6 +217,87 @@ func (o *Output) Activate(node transport.NodeID, active bool) {
 		s.acked = o.floor
 	}
 	o.replayLocked(s, false)
+}
+
+// PendingReplay estimates how many retained elements activating the
+// subscription for node would replay: everything between its acknowledged
+// position and the retention head. An already-active or unknown
+// subscriber pends nothing. The approx policy sums this across upstreams
+// to decide whether skipping the replay fits its error budget.
+func (o *Output) PendingReplay(node transport.NodeID) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s, ok := o.subs[node]
+	if !ok || s.Active {
+		return 0
+	}
+	after := s.acked
+	if after < o.floor {
+		after = o.floor
+	}
+	head := o.floor + uint64(o.buf.len())
+	if head <= after {
+		return 0
+	}
+	return int(head - after)
+}
+
+// ActivateSkipReplay activates the subscription for node WITHOUT replaying
+// retained elements: the subscriber's positions jump to the retention
+// head, the skipped elements are counted as assumed-lost, and an empty
+// covered-watermark message advances the consumer's dedup floor past them
+// so subsequent publishes arrive gap-free. This is the approx policy's
+// budgeted failover path; the returned count is the loss it admitted.
+func (o *Output) ActivateSkipReplay(node transport.NodeID) int {
+	o.mu.Lock()
+	s, ok := o.subs[node]
+	if !ok {
+		o.mu.Unlock()
+		return 0
+	}
+	wasActive := s.Active
+	s.Active = true
+	o.rebuildActiveLocked()
+	if wasActive {
+		o.mu.Unlock()
+		return 0
+	}
+	head := o.floor + uint64(o.buf.len())
+	after := s.acked
+	if after < o.floor {
+		after = o.floor
+	}
+	skipped := 0
+	if head > after {
+		skipped = int(head - after)
+	}
+	if s.acked < head {
+		s.acked = head
+	}
+	o.assumedLost += uint64(skipped)
+	o.skippedReplays++
+	// The watermark send holds sendMu like a replay would: a Publish that
+	// picks up the now-active subscription is ordered after it, so its
+	// elements land on a dedup floor already raised to head.
+	s.sendMu.Lock()
+	if s.sent < head {
+		s.sent = head
+	}
+	if head > 0 {
+		o.send(s.Node, transport.Message{
+			Kind:   transport.KindData,
+			Stream: s.Stream,
+			Seq:    head,
+		})
+	}
+	s.sendMu.Unlock()
+	trimmed := o.trimLocked()
+	onTrim := o.onTrim
+	o.mu.Unlock()
+	if trimmed > 0 && onTrim != nil {
+		onTrim()
+	}
+	return skipped
 }
 
 // ResetSubscriber rebinds the subscription for node to a fresh copy
@@ -451,6 +538,37 @@ func (o *Output) Restore(s OutputSnapshot) error {
 	return nil
 }
 
+// FastForward advances the queue's sequence space to next without
+// publishing: retained elements are dropped, the trim floor moves to
+// next-1, and subscriber positions advance with it. A standby promoted
+// from a partial checkpoint uses it so the elements it regenerates from
+// replayed input receive the same sequence numbers the failed primary
+// assigned — downstream consumers, whose dedup floors already sit at or
+// near next-1, then see a contiguous stream. Moving backwards is a no-op.
+func (o *Output) FastForward(next uint64) {
+	if next == 0 {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if next <= o.nextSeq {
+		return
+	}
+	o.buf.trim(o.buf.len())
+	o.floor = next - 1
+	o.nextSeq = next
+	for _, sub := range o.subs {
+		if sub.acked < o.floor {
+			sub.acked = o.floor
+		}
+		sub.sendMu.Lock()
+		if sub.sent < sub.acked {
+			sub.sent = sub.acked
+		}
+		sub.sendMu.Unlock()
+	}
+}
+
 // OutputSnapshot is the checkpointable state of an output queue.
 type OutputSnapshot struct {
 	StreamID string
@@ -577,6 +695,14 @@ func (o *Output) Floor() uint64 {
 	return o.floor
 }
 
+// NextSeq returns the sequence number the next published element will be
+// assigned.
+func (o *Output) NextSeq() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.nextSeq
+}
+
 // OutputStats is a JSON-marshalable view of an output queue's retention
 // and subscription state, exported through the metrics registry.
 type OutputStats struct {
@@ -586,6 +712,10 @@ type OutputStats struct {
 	NextSeq           uint64 `json:"next_seq"`
 	Subscribers       int    `json:"subscribers"`
 	ActiveSubscribers int    `json:"active_subscribers"`
+	// AssumedLost and SkippedReplays account ActivateSkipReplay's admitted
+	// loss (the approx policy's budgeted failovers).
+	AssumedLost    uint64 `json:"assumed_lost"`
+	SkippedReplays int    `json:"skipped_replays"`
 }
 
 // Stats captures the queue's current depth, trim floor and subscription
@@ -594,11 +724,13 @@ func (o *Output) Stats() OutputStats {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	st := OutputStats{
-		Stream:      o.StreamID,
-		Retained:    o.buf.len(),
-		Floor:       o.floor,
-		NextSeq:     o.nextSeq,
-		Subscribers: len(o.subs),
+		Stream:         o.StreamID,
+		Retained:       o.buf.len(),
+		Floor:          o.floor,
+		NextSeq:        o.nextSeq,
+		Subscribers:    len(o.subs),
+		AssumedLost:    o.assumedLost,
+		SkippedReplays: o.skippedReplays,
 	}
 	for _, s := range o.subs {
 		if s.Active {

@@ -1,0 +1,125 @@
+package queue
+
+import (
+	"testing"
+)
+
+// TestPendingReplayEstimate: an inactive subscriber pends everything
+// retained beyond its ack; activity, acks and unknown nodes pend nothing.
+func TestPendingReplayEstimate(t *testing.T) {
+	s := newCaptureSender()
+	o := NewOutput("st", s.send)
+	o.Subscribe("pri", "st", true)
+	o.Subscribe("sec", "st", false)
+
+	o.Publish(elems(10))
+	if got := o.PendingReplay("sec"); got != 10 {
+		t.Fatalf("pending %d, want 10", got)
+	}
+	if got := o.PendingReplay("pri"); got != 0 {
+		t.Fatalf("active subscriber pending %d, want 0", got)
+	}
+	if got := o.PendingReplay("ghost"); got != 0 {
+		t.Fatalf("unknown subscriber pending %d, want 0", got)
+	}
+
+	// Acks by the standby shrink its own pending estimate.
+	o.Ack("sec", 4)
+	if got := o.PendingReplay("sec"); got != 6 {
+		t.Fatalf("pending after ack(4) = %d, want 6", got)
+	}
+}
+
+// TestActivateSkipReplay: the budgeted failover path activates without
+// retransmitting — positions jump to the retention head, the skipped count
+// is the admitted loss, and the only message sent is the covered watermark
+// raising the consumer's dedup floor.
+func TestActivateSkipReplay(t *testing.T) {
+	s := newCaptureSender()
+	o := NewOutput("st", s.send)
+	o.Subscribe("pri", "st", true)
+	o.Subscribe("sec", "st", false)
+
+	o.Publish(elems(8))
+	skipped := o.ActivateSkipReplay("sec")
+	if skipped != 8 {
+		t.Fatalf("skipped %d, want 8", skipped)
+	}
+	msgs := s.msgs["sec"]
+	if len(msgs) != 1 || len(msgs[0].Elements) != 0 || msgs[0].Seq != 8 {
+		t.Fatalf("standby got %d messages %+v, want one empty watermark at seq 8", len(msgs), msgs)
+	}
+
+	// Subsequent publishes flow normally and gap-free from seq 9.
+	out := o.Publish(elems(2))
+	if out[0].Seq != 9 || out[1].Seq != 10 {
+		t.Fatalf("post-skip publish seqs %d,%d, want 9,10", out[0].Seq, out[1].Seq)
+	}
+	if got := s.elementsTo("sec"); len(got) != 2 || got[0].Seq != 9 {
+		t.Fatalf("standby received %v after skip, want the two new elements", got)
+	}
+
+	st := o.Stats()
+	if st.AssumedLost != 8 || st.SkippedReplays != 1 {
+		t.Fatalf("stats assumedLost=%d skippedReplays=%d, want 8,1", st.AssumedLost, st.SkippedReplays)
+	}
+
+	// Skipping an already-active subscriber is a no-op.
+	if again := o.ActivateSkipReplay("sec"); again != 0 {
+		t.Fatalf("second skip returned %d, want 0", again)
+	}
+	if o.ActivateSkipReplay("ghost") != 0 {
+		t.Fatal("unknown subscriber skip must return 0")
+	}
+}
+
+// TestActivateSkipReplayClampsToFloor: loss accounting starts at the trim
+// floor — elements already trimmed were acknowledged through the normal
+// path and are not part of the admitted loss.
+func TestActivateSkipReplayClampsToFloor(t *testing.T) {
+	s := newCaptureSender()
+	o := NewOutput("st", s.send)
+	o.Subscribe("pri", "st", true)
+	o.Subscribe("sec", "st", false)
+
+	o.Publish(elems(6))
+	o.Ack("pri", 4) // trims to floor 4; 2 elements stay retained
+	if st := o.Stats(); st.Retained != 2 || st.Floor != 4 {
+		t.Fatalf("retained=%d floor=%d, want 2,4", st.Retained, st.Floor)
+	}
+	if got := o.PendingReplay("sec"); got != 2 {
+		t.Fatalf("pending %d, want 2 (clamped to floor)", got)
+	}
+	if skipped := o.ActivateSkipReplay("sec"); skipped != 2 {
+		t.Fatalf("skipped %d, want 2", skipped)
+	}
+	msgs := s.msgs["sec"]
+	if len(msgs) != 1 || msgs[0].Seq != 6 {
+		t.Fatalf("watermark %+v, want seq 6", msgs)
+	}
+}
+
+// TestFastForwardAlignsSeqSpace: fast-forwarding an output queue moves its
+// next assigned sequence up (never back), so a standby promoted from a
+// partial checkpoint lines up with what the primary already published.
+func TestFastForwardAlignsSeqSpace(t *testing.T) {
+	s := newCaptureSender()
+	o := NewOutput("st", s.send)
+
+	o.FastForward(100)
+	if got := o.NextSeq(); got != 100 {
+		t.Fatalf("NextSeq %d after FastForward(100), want 100", got)
+	}
+	out := o.Publish(elems(1))
+	if out[0].Seq != 100 {
+		t.Fatalf("first publish seq %d, want 100", out[0].Seq)
+	}
+
+	// Never backwards, and 0 is a no-op.
+	o.FastForward(50)
+	o.FastForward(0)
+	out = o.Publish(elems(1))
+	if out[0].Seq != 101 {
+		t.Fatalf("publish after backward fast-forward seq %d, want 101", out[0].Seq)
+	}
+}

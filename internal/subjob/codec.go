@@ -479,7 +479,12 @@ func DecodeDelta(b []byte) (*Delta, error) {
 
 // DecodeCheckpoint parses an encoded checkpoint payload of either kind:
 // exactly one of the returned snapshot and delta is non-nil on success.
+// Partial (bounded-error) frames are not valid here: they never enter the
+// store fold or the durable catalog, so reaching one is a routing bug.
 func DecodeCheckpoint(b []byte) (*Snapshot, *Delta, error) {
+	if IsPartial(b) {
+		return nil, nil, fmt.Errorf("subjob: partial checkpoint where full/delta expected (partial frames are not foldable)")
+	}
 	if IsDelta(b) {
 		d, err := DecodeDelta(b)
 		return nil, d, err
@@ -493,6 +498,9 @@ func DecodeCheckpoint(b []byte) (*Snapshot, *Delta, error) {
 type CheckpointInfo struct {
 	SubjobID string
 	IsDelta  bool
+	// IsPartial marks a bounded-error frame (SHP2); such payloads are
+	// transport-only and never stored.
+	IsPartial bool
 	// PrevSeq is the chain predecessor; meaningful only for deltas.
 	PrevSeq uint64
 }
@@ -523,6 +531,16 @@ func PeekCheckpoint(b []byte) (CheckpointInfo, error) {
 			return CheckpointInfo{}, r.err
 		}
 		return CheckpointInfo{SubjobID: id, IsDelta: true, PrevSeq: prev}, nil
+	case hasMagic(b, partialMagic):
+		r := &creader{b: b[4:]}
+		if v := r.byte(); r.err == nil && v != codecVersion {
+			return CheckpointInfo{}, fmt.Errorf("subjob: unknown partial codec version %d", v)
+		}
+		id := r.str()
+		if r.err != nil {
+			return CheckpointInfo{}, r.err
+		}
+		return CheckpointInfo{SubjobID: id, IsPartial: true}, nil
 	default:
 		snap, delta, err := DecodeCheckpoint(b)
 		if err != nil {

@@ -1,0 +1,104 @@
+package subjob
+
+import (
+	"reflect"
+	"testing"
+)
+
+func samplePartial() *Partial {
+	return &Partial{
+		SubjobID: "stage-1",
+		Consumed: map[string]uint64{"src": 412, "side": 7},
+		PEPatches: [][]byte{
+			{1, 2, 3, 4},
+			nil,
+			nil,
+		},
+		PEFull: [][]byte{
+			nil,
+			{9, 8},
+			nil, // PE 2 shipped nothing this frame
+		},
+		OutNext:    513,
+		ColdBytes:  4096,
+		StateUnits: 3,
+	}
+}
+
+func TestPartialRoundTrip(t *testing.T) {
+	p := samplePartial()
+	b, err := p.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if len(b) != p.EncodedSize() {
+		t.Fatalf("encoded %d bytes, EncodedSize says %d", len(b), p.EncodedSize())
+	}
+	if !IsPartial(b) {
+		t.Fatal("IsPartial false on an encoded partial")
+	}
+	got, err := DecodePartial(b)
+	if err != nil {
+		t.Fatalf("DecodePartial: %v", err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+	if got.ElementUnits() != 3 {
+		t.Fatalf("ElementUnits %d, want 3", got.ElementUnits())
+	}
+}
+
+func TestPartialRejectsOtherFrames(t *testing.T) {
+	p := samplePartial()
+	b, err := p.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+
+	// A partial is not a snapshot, a delta, or a chainable checkpoint.
+	if _, err := DecodeSnapshot(b); err == nil {
+		t.Fatal("DecodeSnapshot accepted a partial frame")
+	}
+	if _, err := DecodeDelta(b); err == nil {
+		t.Fatal("DecodeDelta accepted a partial frame")
+	}
+	if _, _, err := DecodeCheckpoint(b); err == nil {
+		t.Fatal("DecodeCheckpoint accepted a partial frame")
+	}
+	// And the other frames are not partials.
+	if _, err := DecodePartial([]byte("SHS2....")); err == nil {
+		t.Fatal("DecodePartial accepted a snapshot magic")
+	}
+	if IsPartial([]byte("SHD2")) {
+		t.Fatal("IsPartial true on a delta magic")
+	}
+}
+
+func TestPartialPeek(t *testing.T) {
+	p := samplePartial()
+	b, err := p.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	info, err := PeekCheckpoint(b)
+	if err != nil {
+		t.Fatalf("PeekCheckpoint: %v", err)
+	}
+	if !info.IsPartial || info.SubjobID != "stage-1" {
+		t.Fatalf("peek %+v, want partial for stage-1", info)
+	}
+}
+
+func TestPartialDecodeTruncated(t *testing.T) {
+	p := samplePartial()
+	b, err := p.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	for cut := 1; cut < len(b); cut++ {
+		if _, err := DecodePartial(b[:cut]); err == nil {
+			t.Fatalf("DecodePartial accepted a %d/%d-byte truncation", cut, len(b))
+		}
+	}
+}

@@ -488,6 +488,83 @@ func (r *Runtime) ApplyDelta(d *Delta) error {
 	return nil
 }
 
+// CapturePartial captures a bounded-error checkpoint: each PE's hot-range
+// patch from its dirty tracking (with a full-state fallback where no
+// baseline exists), the consumption positions, and the output queue's
+// NextSeq. Pipes and queued elements are deliberately omitted — whatever
+// they hold at failover is part of the loss the approx policy admits and
+// accounts. The copy must be paused (or suspended).
+func (r *Runtime) CapturePartial() *Partial {
+	p := &Partial{
+		SubjobID:  r.spec.ID,
+		Consumed:  r.pes[0].ConsumedPositions(),
+		PEPatches: make([][]byte, len(r.pes)),
+		PEFull:    make([][]byte, len(r.pes)),
+		OutNext:   r.out.NextSeq(),
+	}
+	for i, pr := range r.pes {
+		logic := pr.Logic()
+		if dl, ok := logic.(pe.DeltaLogic); ok {
+			if patch, ok := dl.DeltaSnapshot(); ok {
+				p.PEPatches[i] = patch
+				p.StateUnits += pe.PatchUnits(patch)
+				if pl, ok := logic.(pe.PartialLogic); ok {
+					if cold := pl.StateBytes() - len(patch); cold > 0 {
+						p.ColdBytes += uint64(cold)
+					}
+				}
+				continue
+			}
+			dl.ResetDelta()
+		}
+		full := logic.Snapshot()
+		if full == nil {
+			full = []byte{}
+		}
+		p.PEFull[i] = full
+		p.StateUnits += logic.StateSize()
+	}
+	return p
+}
+
+// ApplyPartial folds a partial checkpoint into the live copy — the standby
+// refresh counterpart of ApplyDelta for the approx policy. State ranges
+// the frame does not cover keep whatever this copy last saw (the bounded
+// staleness the policy admits), pipes are left untouched, and the output
+// queue is fast-forwarded to the frame's OutNext so that elements the
+// promoted standby regenerates from replayed input land in the primary's
+// sequence space. The copy must be paused (or suspended).
+func (r *Runtime) ApplyPartial(p *Partial) error {
+	if p.SubjobID != r.spec.ID {
+		return fmt.Errorf("subjob %s: partial for %s", r.spec.ID, p.SubjobID)
+	}
+	if len(p.PEPatches) != len(r.pes) || len(p.PEFull) != len(r.pes) {
+		return fmt.Errorf("subjob %s: partial shape mismatch", r.spec.ID)
+	}
+	for i, pr := range r.pes {
+		switch {
+		case p.PEFull[i] != nil:
+			if err := pr.Logic().Restore(p.PEFull[i]); err != nil {
+				return fmt.Errorf("subjob %s: apply PE %d full state: %w", r.spec.ID, i, err)
+			}
+		case p.PEPatches[i] != nil:
+			dl, ok := pr.Logic().(pe.DeltaLogic)
+			if !ok {
+				return fmt.Errorf("subjob %s: PE %d received a patch but its logic cannot apply one", r.spec.ID, i)
+			}
+			if err := dl.ApplyDelta(p.PEPatches[i]); err != nil {
+				return fmt.Errorf("subjob %s: apply PE %d patch: %w", r.spec.ID, i, err)
+			}
+		}
+	}
+	r.out.FastForward(p.OutNext)
+	if p.Consumed != nil {
+		r.pes[0].SetConsumedPositions(p.Consumed)
+		r.in.SetAccepted(p.Consumed)
+	}
+	return nil
+}
+
 // SetInputPartition installs the input queue's partition guard: this copy
 // serves partition-instance part of the stage routed by split.
 func (r *Runtime) SetInputPartition(split *queue.Partitioner, part int) {

@@ -111,6 +111,9 @@ func DecodeSnapshot(b []byte) (*Snapshot, error) {
 	if hasMagic(b, deltaMagic) {
 		return nil, fmt.Errorf("subjob: delta checkpoint where full snapshot expected")
 	}
+	if hasMagic(b, partialMagic) {
+		return nil, fmt.Errorf("subjob: partial checkpoint where full snapshot expected")
+	}
 	if len(b) == 0 {
 		return nil, fmt.Errorf("subjob: empty checkpoint payload")
 	}

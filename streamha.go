@@ -4,7 +4,7 @@
 //
 // A job is a chain of processing elements (PEs) partitioned into subjobs,
 // each placed on a (simulated) cluster machine. Every subjob independently
-// chooses one of four HA modes:
+// chooses one of five HA modes:
 //
 //   - None: a single copy, failures are endured.
 //   - Active: active standby — two live copies, downstream deduplication,
@@ -17,6 +17,11 @@
 //     the first heartbeat miss, rollback with state read-back once the
 //     primary recovers, promotion if the failure turns out to be
 //     fail-stop).
+//   - Approx: the hybrid control plane with bounded-error recovery —
+//     checkpoints ship only hot-slot partial snapshots and failover skips
+//     output replay whenever the estimated loss fits an ErrorBudget,
+//     trading a measured, budgeted divergence for lower steady-state cost
+//     and immediate promotion.
 //
 // The package is a facade over the internal implementation: it re-exports
 // the types needed to define custom PE logic, build clusters and
@@ -81,6 +86,12 @@ type (
 	HybridOptions = core.Options
 	// PassiveOptions tunes conventional passive standby.
 	PassiveOptions = ha.PSOptions
+	// ErrorBudget bounds the divergence an Approx-mode failover may admit
+	// (max lost elements, max standby staleness).
+	ErrorBudget = core.ErrorBudget
+	// DivergenceStats reports the loss an Approx-mode policy actually
+	// admitted across failovers, against its budget.
+	DivergenceStats = core.DivergenceStats
 	// RescalePlacement places the instance Pipeline.ScaleOut adds to a
 	// keyed-parallel stage.
 	RescalePlacement = ha.RescalePlacement
@@ -100,6 +111,8 @@ const (
 	Passive = ha.ModePassive
 	// Hybrid switches between passive and active standby on failure events.
 	Hybrid = ha.ModeHybrid
+	// Approx is hybrid with partial checkpoints and budgeted-loss failover.
+	Approx = ha.ModeApprox
 )
 
 // Failure injection.
