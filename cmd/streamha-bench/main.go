@@ -17,9 +17,12 @@
 // "lifecycle" (control-plane transition logs per standby policy under a
 // scripted stall + fail-stop) and "scale" (keyed-parallelism throughput
 // at 1/2/4/8 partition instances plus a live 2->3 rescale with
-// exactly-once audit; -smoke sweeps {1,4} with short runs) and "approx"
-// (the bounded-error standby: five-mode steady-state grid plus an
-// injected failover with divergence-vs-budget accounting).
+// exactly-once audit; -smoke sweeps {1,4} with short runs) and
+// "placement" (static spare placement vs the consensus-backed scheduler
+// under a multi-failure trace with a placement-log leader kill; -smoke
+// shortens the trace to one round) and "approx" (the bounded-error
+// standby: five-mode steady-state grid plus an injected failover with
+// divergence-vs-budget accounting).
 //
 // -json <path> additionally writes every rendered table as machine-
 // readable JSON (figure -> metric -> value), for CI artifacts.
@@ -38,7 +41,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1,2,4,5,6,7,8,9,11,12,sweeping,ablation,throughput,delaystats,wire,checkpoint,lifecycle,scale,approx or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1,2,4,5,6,7,8,9,11,12,sweeping,ablation,throughput,delaystats,wire,checkpoint,lifecycle,scale,placement,approx or all")
 	quick := flag.Bool("quick", false, "reduced sweeps and repeats for a fast look")
 	smoke := flag.Bool("smoke", false, "health-check subset for CI (affects -fig checkpoint, scale, approx)")
 	jsonPath := flag.String("json", "", "also write the results as JSON (figure -> metric -> value) to this path")
@@ -292,6 +295,15 @@ func run(fig string, quick, smoke bool, jsonPath string) error {
 		show(r.Table(), time.Since(start))
 	}
 
+	if want("placement") {
+		start := time.Now()
+		r, err := experiment.RunPlacement(smoke || quick)
+		if err != nil {
+			return err
+		}
+		show(r.Table(), time.Since(start))
+	}
+
 	if want("approx") {
 		start := time.Now()
 		ap := params
@@ -308,7 +320,7 @@ func run(fig string, quick, smoke bool, jsonPath string) error {
 
 	if !ran {
 		return fmt.Errorf("unknown figure %q (try: %s)", fig,
-			strings.Join([]string{"1", "2", "4", "5", "6", "7", "8", "9", "11", "12", "sweeping", "ablation", "throughput", "delaystats", "wire", "checkpoint", "lifecycle", "scale", "approx", "all"}, ", "))
+			strings.Join([]string{"1", "2", "4", "5", "6", "7", "8", "9", "11", "12", "sweeping", "ablation", "throughput", "delaystats", "wire", "checkpoint", "lifecycle", "scale", "placement", "approx", "all"}, ", "))
 	}
 	if jsonPath != "" {
 		blob, err := json.MarshalIndent(collected, "", "  ")

@@ -27,6 +27,7 @@
 //	    "workers": {"listen": "127.0.0.1:7102", "machines": ["p0", "p1", "s0", "s1"]},
 //	    "dash":    {"listen": "127.0.0.1:7103", "machines": ["sink"]}
 //	  },
+//	  "fault_domains": {"p0": "rack-a", "s0": "rack-b", "p1": "rack-a", "s1": "rack-b"},
 //	  "job": {
 //	    "id": "job",
 //	    "rate": 1000,
@@ -44,12 +45,14 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -60,14 +63,18 @@ import (
 	"streamha/internal/machine"
 	"streamha/internal/metrics"
 	"streamha/internal/pe"
+	"streamha/internal/sched"
 	"streamha/internal/subjob"
 	"streamha/internal/transport"
 )
 
 type deployment struct {
-	Processes  map[string]processDef `json:"processes"`
-	Job        jobDef                `json:"job"`
-	RunSeconds int                   `json:"run_seconds"`
+	Processes map[string]processDef `json:"processes"`
+	// FaultDomains optionally labels machines with fault domains
+	// (machine id -> domain); the -fault-domain flag overrides it.
+	FaultDomains map[string]string `json:"fault_domains"`
+	Job          jobDef            `json:"job"`
+	RunSeconds   int               `json:"run_seconds"`
 }
 
 type processDef struct {
@@ -112,6 +119,8 @@ func main() {
 	mode := flag.String("mode", "", "override every subjob's HA mode (one of the ha.Modes names; approx takes its budget from -error-budget)")
 	errorBudget := flag.Int("error-budget", 0, "approx-mode error budget: max in-flight elements a failover may lose (required > 0 with -mode approx)")
 	metricsTTLMS := flag.Int("metrics-ttl-ms", 0, "cache metrics sources for this many milliseconds between scrapes of /metrics and /metrics.json (0: always re-evaluate)")
+	schedOn := flag.Bool("sched", false, "run a placement scheduler over this process's machines: resolves subjobs with empty primary/secondary (single-process deployments), tracks assignments and serves sched metrics")
+	faultDomain := flag.String("fault-domain", "", "fault-domain labels: a bare name labels every hosted machine, or per-machine pairs \"w1=rack-a,w2=rack-b\"; overrides the config's fault_domains map")
 	flag.Parse()
 	if *configPath == "" || *process == "" {
 		flag.Usage()
@@ -131,6 +140,8 @@ func main() {
 		mode:         *mode,
 		errorBudget:  *errorBudget,
 		metricsTTLMS: *metricsTTLMS,
+		sched:        *schedOn,
+		faultDomain:  *faultDomain,
 	}
 	if err := run(*configPath, *process, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "streamha-node: %v\n", err)
@@ -150,6 +161,8 @@ type nodeOptions struct {
 	mode         string
 	errorBudget  int
 	metricsTTLMS int
+	sched        bool
+	faultDomain  string
 }
 
 func run(configPath, process string, opts nodeOptions) error {
@@ -218,6 +231,125 @@ func run(configPath, process string, opts nodeOptions) error {
 		machines[id] = m
 	}
 
+	// Fault-domain labels: the config's map, overridden by -fault-domain
+	// (a bare name labels every hosted machine; "w1=rack-a,w2=rack-b"
+	// labels specific ones).
+	domains := map[string]string{}
+	for id, d := range dep.FaultDomains {
+		domains[id] = d
+	}
+	if opts.faultDomain != "" {
+		for _, part := range strings.Split(opts.faultDomain, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			if id, d, ok := strings.Cut(part, "="); ok {
+				domains[id] = d
+			} else {
+				for _, id := range self.Machines {
+					domains[id] = part
+				}
+			}
+		}
+	}
+
+	// Placement scheduler (optional): a replicated placement log over up to
+	// three of this process's machines, with every hosted machine admitted
+	// as a schedulable member. Subjobs naming no machines are resolved here
+	// — only meaningful in a single-process deployment, since other
+	// processes wire against the literal names in the shared config.
+	var sch *sched.Scheduler
+	if opts.sched {
+		replicas := make([]*machine.Machine, 0, 3)
+		for _, id := range self.Machines {
+			if len(replicas) == 3 {
+				break
+			}
+			replicas = append(replicas, machines[id])
+		}
+		sch, err = sched.New(sched.Config{
+			Clock:           clk,
+			Replicas:        replicas,
+			Tick:            25 * time.Millisecond,
+			ElectionTimeout: 150 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		sch.Start()
+		defer sch.Stop()
+		// Each machine hosts at most one primary and one standby copy. The
+		// source and sink hosts stay outside the schedulable pool, like the
+		// simulator's testbed.
+		const capacity = 2
+		members := 0
+		for _, id := range self.Machines {
+			if id == dep.Job.SourceMachine || id == dep.Job.SinkMachine {
+				continue
+			}
+			if err := sch.MemberUp(id, domains[id], capacity); err != nil {
+				return err
+			}
+			members++
+		}
+		fmt.Printf("placement scheduler up: %d log replicas, %d schedulable machines\n",
+			len(replicas), members)
+	}
+	resolved := false
+	for i := range dep.Job.Subjobs {
+		def := &dep.Job.Subjobs[i]
+		sjID := dep.Job.ID + "/" + def.ID
+		placedPri, placedSec := false, false
+		if def.Primary == "" {
+			if sch == nil {
+				return fmt.Errorf("subjob %s: empty primary requires -sched", def.ID)
+			}
+			id, err := sch.Place(sched.Request{Subjob: sjID, Role: sched.RolePrimary})
+			if err != nil {
+				return fmt.Errorf("subjob %s: place primary: %w", def.ID, err)
+			}
+			def.Primary = id
+			resolved, placedPri = true, true
+			fmt.Printf("scheduler placed %s primary on %s\n", def.ID, id)
+		}
+		if def.Mode == "active" && def.Secondary == "" && sch != nil {
+			req := sched.Request{
+				Subjob:        sjID,
+				Role:          sched.RoleStandby,
+				AvoidMachines: []string{def.Primary},
+			}
+			if d := domains[def.Primary]; d != "" {
+				req.AvoidDomains = []string{d}
+			}
+			id, err := sch.Place(req)
+			if err != nil {
+				return fmt.Errorf("subjob %s: place secondary: %w", def.ID, err)
+			}
+			def.Secondary = id
+			resolved, placedSec = true, true
+			fmt.Printf("scheduler placed %s secondary on %s (outside %s)\n", def.ID, id, domains[def.Primary])
+		}
+		if sch != nil {
+			// Record explicitly named copies too, so occupancy and denial
+			// accounting cover the whole job; names outside this process's
+			// membership are simply not tracked.
+			if !placedPri {
+				if err := sch.Assign(sjID, sched.RolePrimary, def.Primary); err != nil && !errors.Is(err, sched.ErrUnknownMember) {
+					return err
+				}
+			}
+			if def.Secondary != "" && !placedSec {
+				if err := sch.Assign(sjID, sched.RoleStandby, def.Secondary); err != nil && !errors.Is(err, sched.ErrUnknownMember) {
+					return err
+				}
+			}
+		}
+	}
+	if resolved && len(dep.Processes) > 1 {
+		return fmt.Errorf("scheduler-resolved placement needs a single-process deployment: other processes wire against the names in the shared config")
+	}
+
 	streams := make([]string, len(dep.Job.Subjobs)+1)
 	for i := range streams {
 		streams[i] = fmt.Sprintf("%s/s%d", dep.Job.ID, i)
@@ -272,6 +404,9 @@ func run(configPath, process string, opts nodeOptions) error {
 		reg.SetSourceTTL(time.Duration(opts.metricsTTLMS) * time.Millisecond)
 	}
 	reg.Register("transport", func() any { return seg.Stats() })
+	if sch != nil {
+		sch.RegisterMetrics(reg)
+	}
 
 	// Live metrics endpoint: the same registry snapshot the periodic report
 	// prints, pollable over HTTP while the process runs. Started before any

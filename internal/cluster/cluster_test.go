@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"streamha/internal/element"
+	"streamha/internal/machine"
+	"streamha/internal/sched"
 	"streamha/internal/subjob"
 	"streamha/internal/transport"
 )
@@ -223,6 +225,97 @@ func TestSinkOnArrivalCallback(t *testing.T) {
 		}
 	case <-time.After(time.Second):
 		t.Fatal("callback never fired")
+	}
+}
+
+func TestRemoveMachineFreesID(t *testing.T) {
+	cl := New(Config{})
+	defer cl.Close()
+	cl.MustAddMachine("a")
+	cl.MustAddMachine("b")
+	if err := cl.RemoveMachine("a"); err != nil {
+		t.Fatalf("RemoveMachine: %v", err)
+	}
+	if cl.Machine("a") != nil {
+		t.Fatal("removed machine still resolvable")
+	}
+	if got := len(cl.Machines()); got != 1 {
+		t.Fatalf("machines after removal: %d", got)
+	}
+	if err := cl.RemoveMachine("a"); err == nil {
+		t.Fatal("double removal accepted")
+	}
+	// The id is free for reuse, and Close stays safe afterwards.
+	if _, err := cl.AddMachine("a"); err != nil {
+		t.Fatalf("re-adding removed id: %v", err)
+	}
+	if err := cl.RemoveMachine("a"); err != nil {
+		t.Fatalf("removing re-added machine: %v", err)
+	}
+}
+
+func TestFaultDomains(t *testing.T) {
+	cl := New(Config{})
+	defer cl.Close()
+	cl.MustAddMachineIn("w1", "rack-a")
+	cl.MustAddMachine("w2")
+	if got := cl.Domain("w1"); got != "rack-a" {
+		t.Fatalf("domain(w1) = %q", got)
+	}
+	// Unlabeled machines live in a fault domain of their own.
+	if got := cl.Domain("w2"); got != "w2" {
+		t.Fatalf("domain(w2) = %q", got)
+	}
+	if got := cl.Domain("ghost"); got != "" {
+		t.Fatalf("domain(ghost) = %q", got)
+	}
+}
+
+func TestCrashRecoverDrivesSchedulerMembership(t *testing.T) {
+	cl := New(Config{})
+	defer cl.Close()
+	reps := []*machine.Machine{cl.MustAddMachine("sched-a")}
+	s, err := sched.New(sched.Config{Clock: cl.Clock(), Replicas: reps, Tick: 5 * time.Millisecond, ElectionTimeout: 40 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Stop()
+	cl.BindScheduler(s, 2)
+	cl.MustAddMachineIn("w1", "rack-a")
+	cl.MustAddMachineIn("w2", "rack-b")
+
+	st := s.Stats()
+	if st.Members != 2 || st.MembersUp != 2 {
+		t.Fatalf("members = %d/%d up, want 2/2 (replica host must stay outside the pool)", st.MembersUp, st.Members)
+	}
+	if st.Domains["rack-a"].Capacity != 2 {
+		t.Fatalf("rack-a capacity = %d, want 2", st.Domains["rack-a"].Capacity)
+	}
+
+	if err := cl.CrashMachine("w1"); err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Machine("w1").Crashed() {
+		t.Fatal("machine not crashed")
+	}
+	if st := s.Stats(); st.MembersUp != 1 {
+		t.Fatalf("members up after crash = %d, want 1", st.MembersUp)
+	}
+	if err := cl.RecoverMachine("w1"); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Machine("w1").Crashed() {
+		t.Fatal("machine still crashed")
+	}
+	if st := s.Stats(); st.MembersUp != 2 {
+		t.Fatalf("members up after recovery = %d, want 2", st.MembersUp)
+	}
+	if err := cl.RemoveMachine("w2"); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.MembersUp != 1 {
+		t.Fatalf("members up after removal = %d, want 1", st.MembersUp)
 	}
 }
 

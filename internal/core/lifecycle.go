@@ -76,6 +76,11 @@ const (
 	// EventChainBreak: the standby side dropped an incremental checkpoint
 	// that did not extend its state chain; the manager must rebase.
 	EventChainBreak
+	// EventRearm: the periodic protection health check (armed only when a
+	// Placer is configured): from Unprotected it asks the scheduler for a
+	// replacement standby host; from Protected it verifies the standby
+	// machine is still alive and replaces it if not.
+	EventRearm
 	// EventStop: the lifecycle is shutting down.
 	EventStop
 )
@@ -90,6 +95,8 @@ func (e EventKind) String() string {
 		return "promote_timer"
 	case EventChainBreak:
 		return "chain_break"
+	case EventRearm:
+		return "rearm"
 	case EventStop:
 		return "stop"
 	default:
@@ -112,6 +119,8 @@ const (
 	actPromote
 	// actRebase forces the next checkpoint to be a full snapshot.
 	actRebase
+	// actRearm runs the policy's scheduler-backed protection repair.
+	actRearm
 	// actShutdown ends the event loop.
 	actShutdown
 )
@@ -129,6 +138,7 @@ var transitionTable = map[State]map[EventKind]action{
 		EventRecovery:     actIgnore,
 		EventPromoteTimer: actIgnore,
 		EventChainBreak:   actRebase,
+		EventRearm:        actRearm,
 		EventStop:         actShutdown,
 	},
 	SwitchedOver: {
@@ -136,6 +146,7 @@ var transitionTable = map[State]map[EventKind]action{
 		EventRecovery:     actRestore,
 		EventPromoteTimer: actPromote,
 		EventChainBreak:   actRebase,
+		EventRearm:        actIgnore,
 		EventStop:         actShutdown,
 	},
 	RollingBack: {
@@ -143,6 +154,7 @@ var transitionTable = map[State]map[EventKind]action{
 		EventRecovery:     actIgnore,
 		EventPromoteTimer: actIgnore,
 		EventChainBreak:   actRebase,
+		EventRearm:        actIgnore,
 		EventStop:         actShutdown,
 	},
 	Migrating: {
@@ -150,6 +162,7 @@ var transitionTable = map[State]map[EventKind]action{
 		EventRecovery:     actIgnore,
 		EventPromoteTimer: actIgnore,
 		EventChainBreak:   actRebase,
+		EventRearm:        actIgnore,
 		EventStop:         actShutdown,
 	},
 	Promoted: {
@@ -157,6 +170,7 @@ var transitionTable = map[State]map[EventKind]action{
 		EventRecovery:     actIgnore,
 		EventPromoteTimer: actIgnore,
 		EventChainBreak:   actRebase,
+		EventRearm:        actIgnore,
 		EventStop:         actShutdown,
 	},
 	Unprotected: {
@@ -164,6 +178,7 @@ var transitionTable = map[State]map[EventKind]action{
 		EventRecovery:     actIgnore,
 		EventPromoteTimer: actIgnore,
 		EventChainBreak:   actIgnore,
+		EventRearm:        actRearm,
 		EventStop:         actShutdown,
 	},
 }
@@ -248,6 +263,16 @@ type LifecycleConfig struct {
 	// RestoreFromCatalog rewinds the primary to the catalog's head chain
 	// before the policy arms — the cold-restart path. Requires Catalog.
 	RestoreFromCatalog bool
+	// Placer, when non-nil, is the cluster scheduler the lifecycle asks for
+	// replacement standby hosts: after a fail-stop promotion exhausts the
+	// static spare, and from the periodic re-arm health check. Nil keeps
+	// the static-placement behavior (a spare-less promotion settles
+	// Unprotected for good).
+	Placer Placer
+	// RearmInterval is the period of the protection health check; zero
+	// selects 100ms. Only armed when Placer is set and the policy
+	// implements Rearmer.
+	RearmInterval time.Duration
 }
 
 type lcEvent struct {
@@ -281,6 +306,7 @@ type Lifecycle struct {
 	migrations  []MigrationEvent
 	rollbacks   []RollbackEvent
 	promotions  []PromoteEvent
+	rearms      []RearmEvent
 	chainBreaks int
 	restoredSeq uint64 // catalog sequence a cold restart restored, 0 otherwise
 	started     bool
@@ -349,6 +375,16 @@ func (lc *Lifecycle) Start() error {
 func (lc *Lifecycle) run() {
 	defer close(lc.done)
 	var promote <-chan time.Time
+	var rearmC <-chan time.Time
+	if _, ok := lc.pol.(Rearmer); ok && lc.cfg.Placer != nil {
+		interval := lc.cfg.RearmInterval
+		if interval <= 0 {
+			interval = 100 * time.Millisecond
+		}
+		t := lc.clk.NewTicker(interval)
+		defer t.Stop()
+		rearmC = t.C()
+	}
 	for {
 		select {
 		case <-lc.stop:
@@ -360,6 +396,10 @@ func (lc *Lifecycle) run() {
 		case <-promote:
 			promote = nil
 			if lc.dispatch(lcEvent{kind: EventPromoteTimer, at: lc.clk.Now()}, &promote) {
+				return
+			}
+		case <-rearmC:
+			if lc.dispatch(lcEvent{kind: EventRearm, at: lc.clk.Now()}, &promote) {
 				return
 			}
 		}
@@ -386,6 +426,11 @@ func (lc *Lifecycle) dispatch(ev lcEvent, promote *<-chan time.Time) bool {
 	case actPromote:
 		to := lc.pol.Promote(lc, ev.at)
 		lc.settle(ev, from, to)
+	case actRearm:
+		if r, ok := lc.pol.(Rearmer); ok && lc.cfg.Placer != nil {
+			to := r.Rearm(lc, ev.at)
+			lc.settle(ev, from, to)
+		}
 	case actRebase:
 		if cm := lc.Checkpoint(); cm != nil {
 			cm.ForceFull()
@@ -623,6 +668,9 @@ func (lc *Lifecycle) Stop() {
 	if rsOn != nil {
 		rsOn.UnregisterStream(subjob.ReadStateStream(lc.cfg.Spec.ID))
 	}
+	if lc.cfg.Placer != nil {
+		lc.cfg.Placer.Release(lc.cfg.Spec.ID)
+	}
 }
 
 // --- accessors -----------------------------------------------------------
@@ -700,6 +748,14 @@ func (lc *Lifecycle) Promotions() []PromoteEvent {
 	lc.mu.Lock()
 	defer lc.mu.Unlock()
 	return append([]PromoteEvent(nil), lc.promotions...)
+}
+
+// Rearms returns the recorded scheduler-driven re-arm decisions: every
+// time a placer-supplied host re-established protection.
+func (lc *Lifecycle) Rearms() []RearmEvent {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return append([]RearmEvent(nil), lc.rearms...)
 }
 
 // Transitions returns the recorded transition log.
@@ -780,6 +836,12 @@ func (lc *Lifecycle) recordPromotion(ev PromoteEvent) {
 	lc.mu.Unlock()
 }
 
+func (lc *Lifecycle) recordRearm(ev RearmEvent) {
+	lc.mu.Lock()
+	lc.rearms = append(lc.rearms, ev)
+	lc.mu.Unlock()
+}
+
 // LifecycleStats is a JSON-marshalable view of one subjob's lifecycle,
 // exported through the metrics registry: mode, current state, failover
 // counters and the full transition log.
@@ -792,6 +854,7 @@ type LifecycleStats struct {
 	Rollbacks   int      `json:"rollbacks"`
 	Migrations  int      `json:"migrations"`
 	Promotions  int      `json:"promotions"`
+	Rearms      int      `json:"rearms"`
 	ChainBreaks int      `json:"chain_breaks"`
 	Transitions []string `json:"transitions"`
 }
@@ -809,6 +872,7 @@ func (lc *Lifecycle) Stats() LifecycleStats {
 		Rollbacks:   len(lc.rollbacks),
 		Migrations:  len(lc.migrations),
 		Promotions:  len(lc.promotions),
+		Rearms:      len(lc.rearms),
 		ChainBreaks: lc.chainBreaks,
 		Transitions: make([]string, len(lc.transitions)),
 	}

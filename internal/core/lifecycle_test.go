@@ -20,7 +20,7 @@ import (
 // and to the table — fails the test.
 func TestLifecycleTransitionTableExhaustive(t *testing.T) {
 	allStates := []State{Protected, SwitchedOver, RollingBack, Migrating, Promoted, Unprotected}
-	allEvents := []EventKind{EventMiss, EventRecovery, EventPromoteTimer, EventChainBreak, EventStop}
+	allEvents := []EventKind{EventMiss, EventRecovery, EventPromoteTimer, EventChainBreak, EventRearm, EventStop}
 
 	want := map[State]map[EventKind]action{
 		Protected: {
@@ -28,6 +28,7 @@ func TestLifecycleTransitionTableExhaustive(t *testing.T) {
 			EventRecovery:     actIgnore,
 			EventPromoteTimer: actIgnore,
 			EventChainBreak:   actRebase,
+			EventRearm:        actRearm,
 			EventStop:         actShutdown,
 		},
 		SwitchedOver: {
@@ -35,6 +36,7 @@ func TestLifecycleTransitionTableExhaustive(t *testing.T) {
 			EventRecovery:     actRestore,
 			EventPromoteTimer: actPromote,
 			EventChainBreak:   actRebase,
+			EventRearm:        actIgnore,
 			EventStop:         actShutdown,
 		},
 		RollingBack: {
@@ -42,6 +44,7 @@ func TestLifecycleTransitionTableExhaustive(t *testing.T) {
 			EventRecovery:     actIgnore,
 			EventPromoteTimer: actIgnore,
 			EventChainBreak:   actRebase,
+			EventRearm:        actIgnore,
 			EventStop:         actShutdown,
 		},
 		Migrating: {
@@ -49,6 +52,7 @@ func TestLifecycleTransitionTableExhaustive(t *testing.T) {
 			EventRecovery:     actIgnore,
 			EventPromoteTimer: actIgnore,
 			EventChainBreak:   actRebase,
+			EventRearm:        actIgnore,
 			EventStop:         actShutdown,
 		},
 		Promoted: {
@@ -56,6 +60,7 @@ func TestLifecycleTransitionTableExhaustive(t *testing.T) {
 			EventRecovery:     actIgnore,
 			EventPromoteTimer: actIgnore,
 			EventChainBreak:   actRebase,
+			EventRearm:        actIgnore,
 			EventStop:         actShutdown,
 		},
 		Unprotected: {
@@ -63,6 +68,7 @@ func TestLifecycleTransitionTableExhaustive(t *testing.T) {
 			EventRecovery:     actIgnore,
 			EventPromoteTimer: actIgnore,
 			EventChainBreak:   actIgnore,
+			EventRearm:        actRearm,
 			EventStop:         actShutdown,
 		},
 	}
@@ -112,6 +118,7 @@ func TestLifecycleStateAndEventStrings(t *testing.T) {
 		EventRecovery:     "recovery",
 		EventPromoteTimer: "promote_timer",
 		EventChainBreak:   "chain_break",
+		EventRearm:        "rearm",
 		EventStop:         "stop",
 	}
 	for e, want := range events {

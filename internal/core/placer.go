@@ -1,0 +1,48 @@
+package core
+
+import (
+	"time"
+
+	"streamha/internal/machine"
+)
+
+// Placer is the lifecycle's window into the cluster scheduler: instead of
+// being wired to static machine names forever, a lifecycle with a Placer
+// asks for replacement hosts when its static placement runs out — after a
+// fail-stop promotion consumed the spare, or when the re-arm health check
+// finds the standby machine dead. Implementations (the ha package adapts
+// the sched package) enforce anti-affinity: a standby host never shares
+// the primary's fault domain.
+type Placer interface {
+	// PlaceStandby returns a machine to host subjob's standby side, never
+	// in primaryOn's fault domain and never primaryOn itself; nil when no
+	// schedulable capacity satisfies the request.
+	PlaceStandby(subjob string, primaryOn *machine.Machine) *machine.Machine
+	// PlacePrimary returns a machine to host a replacement primary copy,
+	// avoiding the given machine; nil when none qualifies.
+	PlacePrimary(subjob string, avoid *machine.Machine) *machine.Machine
+	// NotePrimary records that subjob's primary now runs on m (a promotion
+	// moved it), keeping the scheduler's occupancy accounting truthful.
+	NotePrimary(subjob string, m *machine.Machine)
+	// Release frees every slot subjob holds; called when the lifecycle
+	// stops.
+	Release(subjob string)
+}
+
+// Rearmer is implemented by policies that can re-establish protection
+// outside a failover. The lifecycle's periodic EventRearm calls it: from
+// Protected it is a health check (replace a dead standby machine), from
+// Unprotected a repair attempt (acquire a standby host where none
+// remains). It returns the state the lifecycle settles in.
+type Rearmer interface {
+	Rearm(lc *Lifecycle, at time.Time) State
+}
+
+// RearmEvent records one scheduler-driven re-arm: protection was
+// re-established on a placer-supplied host.
+type RearmEvent struct {
+	// At is when the re-arm completed.
+	At time.Time
+	// Host is the machine now holding the standby side.
+	Host string
+}

@@ -236,6 +236,13 @@ func (ap *ApproxPolicy) Failover(lc *Lifecycle, detectedAt time.Time) State {
 	return SwitchedOver
 }
 
+// Rearm implements Rearmer: the hybrid repair, keeping the re-armed
+// sweeping manager in partial (bounded-error) mode unless the budget is
+// zero.
+func (ap *ApproxPolicy) Rearm(lc *Lifecycle, _ time.Time) State {
+	return ap.hy.rearm(lc, !ap.budget.Zero())
+}
+
 // Divergence implements DivergenceReporter.
 func (ap *ApproxPolicy) Divergence() DivergenceStats {
 	ap.mu.Lock()

@@ -49,20 +49,32 @@ func (hp *HybridPolicy) PromoteAfter() time.Duration { return hp.opts.FailStopAf
 func (hp *HybridPolicy) Arm(lc *Lifecycle) error { return hp.arm(lc, false) }
 
 // arm is the shared body; partial selects bounded-error checkpointing for
-// the sweeping manager (the approx policy's wrapper sets it).
+// the sweeping manager (the approx policy's wrapper sets it). It reads the
+// live secondary fields — not the construction-time config — so re-arms
+// onto a scheduler-supplied replacement machine reuse it unchanged.
 func (hp *HybridPolicy) arm(lc *Lifecycle, partial bool) error {
 	spec := lc.cfg.Spec
-	secM := lc.cfg.SecondaryMachine
+	secM := lc.StandbyMachine()
 
 	if !hp.opts.NoPreDeploy {
-		sec := lc.cfg.Secondary
+		sec := lc.SecondaryRuntime()
 		if sec == nil {
+			// A nil secondary here means a re-arm onto a replacement host
+			// mid-stream (the builders pre-create the initial standby). Seed
+			// the fresh copy synchronously from the live primary before it
+			// starts: the sweeping chain is asynchronous, and a switchover in
+			// the window before its first checkpoint lands would otherwise
+			// promote an empty copy whose restarted output sequences the
+			// downstream dedup floors silently swallow.
 			var err error
 			sec, err = subjob.New(spec, secM, true)
 			if err != nil {
 				return err
 			}
 			lc.applyPartitioning(sec)
+			if err := seedStandby(lc.PrimaryRuntime(), sec); err != nil {
+				return err
+			}
 			sec.Start()
 			if !hp.opts.NoEarlyConnection {
 				lc.connectStandby(sec)
@@ -301,8 +313,23 @@ func (hp *HybridPolicy) promote(lc *Lifecycle, partial bool) State {
 
 	spare := lc.cfg.SpareMachine
 	if spare == nil || spare == sec.Machine() || spare.Crashed() {
-		// No (live) spare: the subjob runs unprotected, like passive standby
-		// after exhausting its secondary.
+		spare = nil
+	}
+	placed := false
+	if placer := lc.cfg.Placer; placer != nil {
+		// Keep the scheduler's books straight — the primary moved — and let
+		// it pick the replacement standby host when no static spare remains.
+		placer.NotePrimary(lc.cfg.Spec.ID, sec.Machine())
+		if spare == nil {
+			spare = placer.PlaceStandby(lc.cfg.Spec.ID, sec.Machine())
+			placed = spare != nil
+		}
+	}
+	if spare == nil {
+		// No (live) spare and no schedulable capacity: the subjob runs
+		// unprotected, like passive standby after exhausting its secondary.
+		// With a placer, the periodic re-arm keeps retrying as capacity
+		// returns.
 		return Unprotected
 	}
 
@@ -311,6 +338,12 @@ func (hp *HybridPolicy) promote(lc *Lifecycle, partial bool) State {
 		return Unprotected
 	}
 	lc.applyPartitioning(newSec)
+	// Same seeding as a re-arm: the replacement standby inherits the
+	// promoted primary's sequence space immediately, closing the window
+	// before its first sweeping checkpoint arrives.
+	if err := seedStandby(sec, newSec); err != nil {
+		return Unprotected
+	}
 	spare.CPU().Execute(hp.opts.DeployCost)
 	newSec.Start()
 	lc.connectStandby(newSec)
@@ -354,5 +387,98 @@ func (hp *HybridPolicy) promote(lc *Lifecycle, partial bool) State {
 	lc.registerReadStateAck(sec.Machine())
 	lc.startDetector(spare, sec.Machine().ID(), lc.cfg.Spec.ID,
 		hp.opts.HeartbeatInterval, hp.opts.MissThreshold, hp.opts.RecoverThreshold)
+	if placed {
+		lc.recordRearm(RearmEvent{At: lc.clk.Now(), Host: string(spare.ID())})
+	}
 	return Protected
+}
+
+// Rearm implements Rearmer: the scheduler-backed protection repair driven
+// by the lifecycle's periodic EventRearm.
+func (hp *HybridPolicy) Rearm(lc *Lifecycle, at time.Time) State { return hp.rearm(lc, false) }
+
+// rearm is the shared body; partial selects bounded-error checkpointing,
+// as in arm. From Protected it is a health check: nothing happens while
+// the standby machine is alive. When the standby machine is dead (a crash
+// the detector cannot see — the detector lived there) or the state is
+// Unprotected (a spare-less promotion), it asks the placer for a
+// replacement host, tears the old standby apparatus down and re-arms onto
+// the new machine.
+func (hp *HybridPolicy) rearm(lc *Lifecycle, partial bool) State {
+	cur := lc.State()
+	pri := lc.PrimaryRuntime()
+	if pri.Machine().Crashed() {
+		// No live primary to protect; this is the detector's problem, not
+		// the scheduler's.
+		return cur
+	}
+	secM := lc.StandbyMachine()
+	sec := lc.SecondaryRuntime()
+	healthy := secM != nil && !secM.Crashed()
+	if !hp.opts.NoPreDeploy {
+		healthy = healthy && sec != nil
+	}
+	if cur == Protected && healthy {
+		return cur
+	}
+	target := lc.cfg.Placer.PlaceStandby(lc.cfg.Spec.ID, pri.Machine())
+	if target == nil {
+		return cur
+	}
+
+	// Tear down the old standby apparatus before arming on the new host.
+	lc.mu.Lock()
+	oldDet, oldCM, oldAckers := lc.det, lc.cm, lc.ackers
+	oldStandby, oldStore := lc.standby, lc.store
+	oldSec := lc.secondary
+	lc.det, lc.cm, lc.ackers = nil, nil, nil
+	lc.standby, lc.store = nil, nil
+	lc.secondary = nil
+	lc.secondaryM = target
+	lc.mu.Unlock()
+	if oldSec != nil {
+		for _, up := range lc.cfg.Wiring.UpstreamOutputs() {
+			up.Unsubscribe(oldSec.Node())
+		}
+	}
+	// The old standby machine may be unresponsive; don't block the event
+	// loop on its teardown.
+	go func() {
+		if oldDet != nil {
+			oldDet.Stop()
+		}
+		if oldCM != nil {
+			oldCM.Stop()
+		}
+		for _, a := range oldAckers {
+			a.Stop()
+		}
+		if oldStandby != nil {
+			oldStandby.Close()
+		}
+		if oldStore != nil {
+			oldStore.Close()
+		}
+		if oldSec != nil {
+			oldSec.Stop()
+		}
+	}()
+
+	if err := hp.arm(lc, partial); err != nil {
+		return Unprotected
+	}
+	lc.recordRearm(RearmEvent{At: lc.clk.Now(), Host: string(target.ID())})
+	return Protected
+}
+
+// seedStandby synchronously copies the live primary's state into a
+// freshly created (still suspended) standby, so the standby holds the
+// primary's output sequence space and consumed positions from the moment
+// it exists; the sweeping chain refreshes it from this baseline. Snapshot
+// (not CaptureFull) leaves the primary's delta tracking untouched, so a
+// checkpoint manager still winding down on the same runtime is unharmed.
+func seedStandby(pri, sec *subjob.Runtime) error {
+	var snap *subjob.Snapshot
+	pri.WithPaused(func() { snap = pri.Snapshot() })
+	return sec.Restore(snap)
 }

@@ -97,9 +97,20 @@ func (pp *PassivePolicy) Failover(lc *Lifecycle, detectedAt time.Time) State {
 	lc.mu.Unlock()
 
 	if target.Crashed() {
-		// No live machine to recover on; selection of an alternative
+		// No live statically named machine to recover on. With a placer the
+		// scheduler supplies a replacement host; the checkpoints died with
+		// the store machine, so the copy restarts empty and relies on the
+		// upstream replay. Without one, selection of an alternative
 		// secondary is outside the paper's scope.
-		return Unprotected
+		if lc.cfg.Placer == nil {
+			return Unprotected
+		}
+		repl := lc.cfg.Placer.PlacePrimary(lc.cfg.Spec.ID, old.Machine())
+		if repl == nil {
+			return Unprotected
+		}
+		target = repl
+		store = nil
 	}
 	lc.transient(Migrating)
 
@@ -110,9 +121,11 @@ func (pp *PassivePolicy) Failover(lc *Lifecycle, detectedAt time.Time) State {
 		return Unprotected
 	}
 	lc.applyPartitioning(rt)
-	if snap, ok := store.Latest(); ok {
-		if err := rt.Restore(snap); err != nil {
-			return Unprotected
+	if store != nil {
+		if snap, ok := store.Latest(); ok {
+			if err := rt.Restore(snap); err != nil {
+				return Unprotected
+			}
 		}
 	}
 	rt.Start()
@@ -145,7 +158,9 @@ func (pp *PassivePolicy) Failover(lc *Lifecycle, detectedAt time.Time) State {
 		}
 		old.Stop()
 	}()
-	store.Close()
+	if store != nil {
+		store.Close()
+	}
 
 	lc.mu.Lock()
 	lc.primary = rt
@@ -156,12 +171,66 @@ func (pp *PassivePolicy) Failover(lc *Lifecycle, detectedAt time.Time) State {
 	// Re-protect: new store on the former primary machine, new checkpoint
 	// manager on the new primary, new detector monitoring it. A fail-stop
 	// crash of the former primary leaves no live machine to host the store —
-	// the subjob keeps running unprotected rather than arming apparatus on a
-	// dead machine.
+	// with a placer the scheduler supplies one; without, the subjob keeps
+	// running unprotected rather than arming apparatus on a dead machine.
+	if placer := lc.cfg.Placer; placer != nil {
+		placer.NotePrimary(lc.cfg.Spec.ID, rt.Machine())
+	}
 	if old.Machine().Crashed() {
-		return Unprotected
+		if lc.cfg.Placer == nil {
+			return Unprotected
+		}
+		repl := lc.cfg.Placer.PlaceStandby(lc.cfg.Spec.ID, rt.Machine())
+		if repl == nil {
+			return Unprotected
+		}
+		lc.mu.Lock()
+		lc.secondaryM = repl
+		lc.mu.Unlock()
+		lc.recordRearm(RearmEvent{At: lc.clk.Now(), Host: string(repl.ID())})
 	}
 	pp.arm(lc)
+	return Protected
+}
+
+// Rearm implements Rearmer: replace a dead store machine (from Protected —
+// a standby-machine crash is invisible to the detector, which lived there)
+// or acquire one where none remains (from Unprotected after a correlated
+// failure), tearing down the old apparatus and re-arming.
+func (pp *PassivePolicy) Rearm(lc *Lifecycle, at time.Time) State {
+	cur := lc.State()
+	pri := lc.PrimaryRuntime()
+	if pri.Machine().Crashed() {
+		return cur
+	}
+	secM := lc.StandbyMachine()
+	if cur == Protected && secM != nil && !secM.Crashed() {
+		return cur
+	}
+	target := lc.cfg.Placer.PlaceStandby(lc.cfg.Spec.ID, pri.Machine())
+	if target == nil {
+		return cur
+	}
+
+	lc.mu.Lock()
+	oldDet, oldCM, oldStore := lc.det, lc.cm, lc.store
+	lc.det, lc.cm, lc.store = nil, nil, nil
+	lc.secondaryM = target
+	lc.mu.Unlock()
+	go func() {
+		if oldDet != nil {
+			oldDet.Stop()
+		}
+		if oldCM != nil {
+			oldCM.Stop()
+		}
+		if oldStore != nil {
+			oldStore.Close()
+		}
+	}()
+
+	pp.arm(lc)
+	lc.recordRearm(RearmEvent{At: lc.clk.Now(), Host: string(target.ID())})
 	return Protected
 }
 

@@ -237,6 +237,17 @@ func (h *Heartbeat) missSlack() time.Duration {
 
 func (h *Heartbeat) tick() {
 	now := h.cfg.Clock.Now()
+	if h.cfg.Monitor.Crashed() {
+		// A crashed monitor is blind, not informed: it cannot distinguish
+		// "target down" from "my own machine down", so it declares nothing.
+		// Resetting the quiet-period baseline also keeps a recovered
+		// monitor from counting its own blackout as target misses.
+		h.mu.Lock()
+		h.lastPongAt = now
+		h.misses = 0
+		h.mu.Unlock()
+		return
+	}
 	var declareFailure bool
 	h.mu.Lock()
 	if h.lastPongAt.IsZero() {

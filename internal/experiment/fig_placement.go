@@ -1,0 +1,438 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"streamha/internal/cluster"
+	"streamha/internal/core"
+	"streamha/internal/failure"
+	"streamha/internal/ha"
+	"streamha/internal/machine"
+	"streamha/internal/sched"
+	"streamha/internal/subjob"
+)
+
+// The placement experiment is not a paper figure: it evaluates the
+// cluster scheduler the repo adds on top of the paper's method. Two
+// identical jobs run through the same multi-failure trace. The static
+// variant names its machines up front (primary, standby, one spare) the
+// way the paper's evaluation does — after the spare is consumed the next
+// failure leaves the subjob permanently unprotected. The scheduled
+// variant hands placement to the consensus-backed scheduler: every crash
+// is followed by an automatic re-arm onto fresh capacity outside the new
+// primary's fault domain, and the placement log itself survives a leader
+// kill mid-trace.
+
+// PlacementVariant is one run's outcome.
+type PlacementVariant struct {
+	Name string
+	// Crashes is how many worker machines the trace killed.
+	Crashes int
+	// Failovers, Promotions and Rearms aggregate the groups' lifecycles.
+	Failovers, Promotions, Rearms int
+	// FinalStates lists each group's terminal lifecycle state.
+	FinalStates []string
+	// ProtectedFrac is the fraction of post-warmup samples with every
+	// group Protected.
+	ProtectedFrac float64
+	// AntiAffinityViolations counts samples where a primary and its
+	// standby shared a fault domain.
+	AntiAffinityViolations int
+	// UnprotectedEnd reports whether any group settled Unprotected.
+	UnprotectedEnd bool
+	// Exactly-once audit.
+	Emitted, Delivered, Lost, Duplicated uint64
+	// Scheduler-side counters (zero for the static variant).
+	Placements, Denials, LeaderChanges int
+}
+
+// PlacementResult is the static-vs-scheduled comparison.
+type PlacementResult struct {
+	Static    PlacementVariant
+	Scheduled PlacementVariant
+}
+
+// placementPEs is the small two-PE stage both variants run.
+func placementPEs() []subjob.PESpec {
+	return []subjob.PESpec{
+		{Name: "pe0", NewLogic: newCounterLogic(100), Cost: 100 * time.Microsecond},
+		{Name: "pe1", NewLogic: newCounterLogic(100), Cost: 100 * time.Microsecond},
+	}
+}
+
+// placementSampler polls group states, accumulating the protected-time
+// fraction and anti-affinity violations until stopped.
+type placementSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	samples, protected, violations int
+}
+
+func startPlacementSampler(cl *cluster.Cluster, groups []*ha.Group) *placementSampler {
+	s := &placementSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	clk := cl.Clock()
+	go func() {
+		defer close(s.done)
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-clk.After(10 * time.Millisecond):
+			}
+			allProt := true
+			for _, g := range groups {
+				if g.HA.State() != core.Protected {
+					allProt = false
+				}
+				secM := g.HA.StandbyMachine()
+				if secM == nil {
+					continue
+				}
+				priID := string(g.HA.PrimaryRuntime().Machine().ID())
+				secID := string(secM.ID())
+				if priID != secID && cl.Domain(priID) != "" && cl.Domain(priID) == cl.Domain(secID) {
+					s.violations++
+				}
+			}
+			s.samples++
+			if allProt {
+				s.protected++
+			}
+		}
+	}()
+	return s
+}
+
+func (s *placementSampler) halt() {
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// waitAllProtected polls until every group is Protected with a live
+// standby machine, or the timeout expires.
+func waitAllProtected(cl *cluster.Cluster, groups []*ha.Group, timeout time.Duration) bool {
+	clk := cl.Clock()
+	deadline := clk.Now().Add(timeout)
+	for clk.Now().Before(deadline) {
+		ok := true
+		for _, g := range groups {
+			secM := g.HA.StandbyMachine()
+			if g.HA.State() != core.Protected || secM == nil || secM.Crashed() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+		clk.Sleep(10 * time.Millisecond)
+	}
+	return false
+}
+
+// quiesceAndAudit stops the source, waits for the sink to stop
+// advancing, and fills the variant's exactly-once fields.
+func quiesceAndAudit(cl *cluster.Cluster, pipe *ha.Pipeline, v *PlacementVariant) {
+	clk := cl.Clock()
+	pipe.Source().Stop()
+	last := pipe.Sink().Received()
+	for settle := 0; settle < 8; {
+		clk.Sleep(50 * time.Millisecond)
+		if now := pipe.Sink().Received(); now != last {
+			last, settle = now, 0
+		} else {
+			settle++
+		}
+	}
+	v.Emitted = pipe.Source().Emitted()
+	v.Delivered = pipe.Sink().Received()
+	counts := pipe.Sink().IDCounts()
+	for _, c := range counts {
+		if c > 1 {
+			v.Duplicated += uint64(c - 1)
+		}
+	}
+	if distinct := uint64(len(counts)); distinct < v.Emitted {
+		v.Lost = v.Emitted - distinct
+	}
+}
+
+// collectLifecycles fills the variant's lifecycle aggregates.
+func collectLifecycles(pipe *ha.Pipeline, v *PlacementVariant) {
+	for _, g := range pipe.AllGroups() {
+		st := g.HA.Stats()
+		v.Failovers += st.Switchovers + st.Migrations
+		v.Promotions += st.Promotions
+		v.Rearms += st.Rearms
+		v.FinalStates = append(v.FinalStates, g.HA.State().String())
+		if g.HA.State() == core.Unprotected {
+			v.UnprotectedEnd = true
+		}
+	}
+}
+
+// placementHybrid is the hybrid tuning both variants share: one missed
+// 20 ms heartbeat switches over, a 120 ms persistent outage promotes.
+func placementHybrid() core.Options {
+	return core.Options{
+		HeartbeatInterval:  20 * time.Millisecond,
+		CheckpointInterval: 10 * time.Millisecond,
+		FailStopAfter:      120 * time.Millisecond,
+	}
+}
+
+// runPlacementStatic runs the statically placed baseline through a
+// scripted two-crash trace against subjob sj0's hosts: the first crash
+// consumes the spare, the second strands the subjob unprotected — the
+// dead end the scheduler variant is built to remove.
+func runPlacementStatic(warmup, settle time.Duration) (PlacementVariant, error) {
+	v := PlacementVariant{Name: "static"}
+	cl := cluster.New(cluster.Config{Latency: 200 * time.Microsecond})
+	defer cl.Close()
+	cl.MustAddMachine("m-src")
+	cl.MustAddMachine("m-sink")
+	domains := map[string]string{
+		"w1": "rack-a", "w2": "rack-a",
+		"w3": "rack-b", "w4": "rack-b",
+		"w5": "rack-c", "w6": "rack-c",
+	}
+	for _, id := range []string{"w1", "w2", "w3", "w4", "w5", "w6"} {
+		cl.MustAddMachineIn(id, domains[id])
+	}
+
+	pipe, err := ha.NewPipeline(ha.PipelineConfig{
+		Cluster:     cl,
+		JobID:       "placestatic",
+		Source:      ha.SourceDef{Machine: "m-src", Rate: 500},
+		SinkMachine: "m-sink",
+		Subjobs: []ha.SubjobDef{
+			{PEs: placementPEs(), Mode: ha.ModeHybrid, Primary: "w1", Secondary: "w3", Spare: "w5", BatchSize: 16},
+			{PEs: placementPEs(), Mode: ha.ModeHybrid, Primary: "w2", Secondary: "w4", Spare: "w6", BatchSize: 16},
+		},
+		Hybrid:   placementHybrid(),
+		TrackIDs: true,
+	})
+	if err != nil {
+		return v, err
+	}
+	defer pipe.Stop()
+	if err := pipe.Start(); err != nil {
+		return v, err
+	}
+	clk := cl.Clock()
+	clk.Sleep(warmup)
+
+	groups := pipe.AllGroups()
+	sampler := startPlacementSampler(cl, groups)
+
+	// sj0's placement chain is w1 -> w3 (promote, spare w5 re-arms) ->
+	// w5 with nothing left. The script kills w1, waits for the spare to
+	// take over, then kills w3 (the promoted primary's machine).
+	script, err := failure.ParseScript(`
+		0ms     crash w1
+		` + fmt.Sprintf("%dms crash w3", settle/time.Millisecond) + `
+	`)
+	if err != nil {
+		sampler.halt()
+		return v, err
+	}
+	rep := failure.NewReplayer(clk, cl, script)
+	rep.Start()
+	rep.Wait()
+	for _, ap := range rep.Applied() {
+		if ap.Err != nil {
+			sampler.halt()
+			return v, fmt.Errorf("experiment: static trace: %v", ap.Err)
+		}
+	}
+	v.Crashes = len(rep.Applied())
+	clk.Sleep(settle)
+
+	sampler.halt()
+	v.ProtectedFrac = float64(sampler.protected) / float64(max(1, sampler.samples))
+	v.AntiAffinityViolations = sampler.violations
+	quiesceAndAudit(cl, pipe, &v)
+	collectLifecycles(pipe, &v)
+	return v, nil
+}
+
+// runPlacementScheduled runs the scheduler-resolved variant through the
+// same failure pressure and more — each round kills the protected
+// subjob's standby host, waits for the automatic re-arm, then kills its
+// primary host and waits for promotion plus re-arm — with a
+// placement-log leader kill in the middle of the trace. Crashed workers
+// are not recovered, so the pool genuinely shrinks as the trace runs.
+func runPlacementScheduled(warmup, settle time.Duration, rounds int) (PlacementVariant, error) {
+	v := PlacementVariant{Name: "scheduled"}
+	cl := cluster.New(cluster.Config{Latency: 200 * time.Microsecond})
+	defer cl.Close()
+	cl.MustAddMachine("m-src")
+	cl.MustAddMachine("m-sink")
+	// Placement-log replicas live outside the schedulable pool: added
+	// before BindScheduler, they are never chosen to host subjob copies.
+	replicaMs := []*machine.Machine{
+		cl.MustAddMachine("sched-a"),
+		cl.MustAddMachine("sched-b"),
+		cl.MustAddMachine("sched-c"),
+	}
+	s, err := sched.New(sched.Config{
+		Clock:           cl.Clock(),
+		Replicas:        replicaMs,
+		Tick:            5 * time.Millisecond,
+		ElectionTimeout: 40 * time.Millisecond,
+	})
+	if err != nil {
+		return v, err
+	}
+	s.Start()
+	defer s.Stop()
+	cl.BindScheduler(s, 2)
+
+	// Workers join after the bind, so each admission lands in the log.
+	domains := map[string]string{
+		"w1": "rack-a", "w2": "rack-a",
+		"w3": "rack-b", "w4": "rack-b",
+		"w5": "rack-c", "w6": "rack-c",
+	}
+	for _, id := range []string{"w1", "w2", "w3", "w4", "w5", "w6"} {
+		if _, err := cl.AddMachineIn(id, domains[id]); err != nil {
+			return v, err
+		}
+	}
+
+	pipe, err := ha.NewPipeline(ha.PipelineConfig{
+		Cluster:     cl,
+		JobID:       "placesched",
+		Source:      ha.SourceDef{Machine: "m-src", Rate: 500},
+		SinkMachine: "m-sink",
+		Subjobs: []ha.SubjobDef{
+			// No machine names: the scheduler resolves both placements.
+			{PEs: placementPEs(), Mode: ha.ModeHybrid, BatchSize: 16},
+			{PEs: placementPEs(), Mode: ha.ModeHybrid, BatchSize: 16},
+		},
+		Hybrid:        placementHybrid(),
+		TrackIDs:      true,
+		Scheduler:     s,
+		RearmInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		return v, err
+	}
+	defer pipe.Stop()
+	if err := pipe.Start(); err != nil {
+		return v, err
+	}
+	clk := cl.Clock()
+	clk.Sleep(warmup)
+
+	groups := pipe.AllGroups()
+	sampler := startPlacementSampler(cl, groups)
+	defer sampler.halt()
+	target := groups[0]
+
+	crash := func(id string) error {
+		v.Crashes++
+		return cl.CrashMachine(id)
+	}
+	for round := 0; round < rounds; round++ {
+		// Kill the protected subjob's standby host; the detector lives
+		// there, so only the periodic re-arm health check notices.
+		if secM := target.HA.StandbyMachine(); secM != nil && !secM.Crashed() {
+			if err := crash(string(secM.ID())); err != nil {
+				return v, err
+			}
+		}
+		if !waitAllProtected(cl, groups, settle) {
+			return v, fmt.Errorf("experiment: scheduled round %d: no re-arm after standby kill", round)
+		}
+
+		if round == rounds/2 {
+			// Mid-trace, kill the placement-log leader; the survivors
+			// re-elect and placement keeps working.
+			if ldr := s.Leader(); ldr != "" {
+				if err := cl.CrashMachine(ldr); err != nil {
+					return v, err
+				}
+			}
+		}
+
+		// Kill the primary host: switchover, fail-stop promotion, then a
+		// scheduler-supplied replacement standby.
+		if err := crash(string(target.HA.PrimaryRuntime().Machine().ID())); err != nil {
+			return v, err
+		}
+		if !waitAllProtected(cl, groups, settle) {
+			return v, fmt.Errorf("experiment: scheduled round %d: no re-arm after primary kill", round)
+		}
+	}
+	clk.Sleep(settle / 2)
+
+	sampler.halt()
+	v.ProtectedFrac = float64(sampler.protected) / float64(max(1, sampler.samples))
+	v.AntiAffinityViolations = sampler.violations
+	quiesceAndAudit(cl, pipe, &v)
+	collectLifecycles(pipe, &v)
+	st := s.Stats()
+	v.Placements = st.Placements
+	v.Denials = st.Denials
+	v.LeaderChanges = st.LeaderChanges
+	return v, nil
+}
+
+// RunPlacement compares static and scheduled placement under the
+// multi-failure trace. smoke shortens the trace for CI.
+func RunPlacement(smoke bool) (*PlacementResult, error) {
+	warmup, settle, rounds := 500*time.Millisecond, 2*time.Second, 2
+	if smoke {
+		warmup, settle, rounds = 300*time.Millisecond, 1500*time.Millisecond, 1
+	}
+	res := &PlacementResult{}
+	st, err := runPlacementStatic(warmup, settle)
+	if err != nil {
+		return nil, err
+	}
+	res.Static = st
+	sc, err := runPlacementScheduled(warmup, settle, rounds)
+	if err != nil {
+		return nil, err
+	}
+	res.Scheduled = sc
+	if res.Scheduled.UnprotectedEnd {
+		return nil, fmt.Errorf("experiment: scheduled variant settled unprotected with capacity available")
+	}
+	if res.Scheduled.AntiAffinityViolations > 0 {
+		return nil, fmt.Errorf("experiment: scheduled variant violated fault-domain anti-affinity %d times",
+			res.Scheduled.AntiAffinityViolations)
+	}
+	return res, nil
+}
+
+// Table renders the comparison.
+func (r *PlacementResult) Table() Table {
+	t := Table{
+		Title:  "Placement: static spare vs consensus-backed scheduler under a multi-failure trace",
+		Note:   "same hybrid tuning; scheduled variant also survives a standby-host kill per round and a placement-log leader kill mid-trace",
+		Header: []string{"metric", "static", "scheduled"},
+	}
+	row := func(name, a, b string) { t.Rows = append(t.Rows, []string{name, a, b}) }
+	sv, cv := r.Static, r.Scheduled
+	row("machine crashes", fmt.Sprintf("%d", sv.Crashes), fmt.Sprintf("%d", cv.Crashes))
+	row("failovers", fmt.Sprintf("%d", sv.Failovers), fmt.Sprintf("%d", cv.Failovers))
+	row("promotions", fmt.Sprintf("%d", sv.Promotions), fmt.Sprintf("%d", cv.Promotions))
+	row("re-arms", fmt.Sprintf("%d", sv.Rearms), fmt.Sprintf("%d", cv.Rearms))
+	row("final states", fmt.Sprintf("%v", sv.FinalStates), fmt.Sprintf("%v", cv.FinalStates))
+	row("ends unprotected", fmt.Sprintf("%v", sv.UnprotectedEnd), fmt.Sprintf("%v", cv.UnprotectedEnd))
+	row("protected-time frac", f2(sv.ProtectedFrac), f2(cv.ProtectedFrac))
+	row("anti-affinity violations", fmt.Sprintf("%d", sv.AntiAffinityViolations), fmt.Sprintf("%d", cv.AntiAffinityViolations))
+	row("exactly-once lost", fmt.Sprintf("%d", sv.Lost), fmt.Sprintf("%d", cv.Lost))
+	row("exactly-once duped", fmt.Sprintf("%d", sv.Duplicated), fmt.Sprintf("%d", cv.Duplicated))
+	row("delivered", fmt.Sprintf("%d", sv.Delivered), fmt.Sprintf("%d", cv.Delivered))
+	row("scheduler placements", "-", fmt.Sprintf("%d", cv.Placements))
+	row("scheduler denials", "-", fmt.Sprintf("%d", cv.Denials))
+	row("leader changes", "-", fmt.Sprintf("%d", cv.LeaderChanges))
+	return t
+}

@@ -1,0 +1,177 @@
+package failure
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"streamha/internal/clock"
+)
+
+// Beyond load spikes, the placement experiments need scripted fail-stop
+// traces: "at t=2s machine w3 crashes, at t=5s it comes back". A Script
+// is that trace; replaying one against a cluster drives the scheduler's
+// membership view (CrashMachine reports the member down, RecoverMachine
+// re-admits it), which in turn drives re-placement.
+
+// ScriptAction is one kind of scripted machine event.
+type ScriptAction string
+
+// Script actions.
+const (
+	ActionCrash   ScriptAction = "crash"
+	ActionRecover ScriptAction = "recover"
+)
+
+// ScriptEvent is one scripted fail-stop event.
+type ScriptEvent struct {
+	// At is the event's offset from replay start.
+	At time.Duration
+	// Action is what happens.
+	Action ScriptAction
+	// Machine names the target machine.
+	Machine string
+}
+
+// Script is an ordered fail-stop trace.
+type Script struct {
+	Events []ScriptEvent
+}
+
+// ParseScript reads a trace in the one-event-per-line format
+//
+//	<offset> <action> <machine>
+//
+// e.g. "2s crash w3" or "500ms recover w1". Blank lines and lines
+// starting with '#' are skipped. Events are returned sorted by offset.
+func ParseScript(text string) (Script, error) {
+	var s Script
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return Script{}, fmt.Errorf("failure: script line %d: want \"<offset> <action> <machine>\", got %q", ln+1, line)
+		}
+		at, err := time.ParseDuration(fields[0])
+		if err != nil {
+			return Script{}, fmt.Errorf("failure: script line %d: bad offset %q: %v", ln+1, fields[0], err)
+		}
+		action := ScriptAction(fields[1])
+		switch action {
+		case ActionCrash, ActionRecover:
+		default:
+			return Script{}, fmt.Errorf("failure: script line %d: unknown action %q", ln+1, fields[1])
+		}
+		s.Events = append(s.Events, ScriptEvent{At: at, Action: action, Machine: fields[2]})
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+	return s, nil
+}
+
+// ScriptTarget applies scripted events; cluster.Cluster satisfies it.
+type ScriptTarget interface {
+	CrashMachine(id string) error
+	RecoverMachine(id string) error
+}
+
+// AppliedEvent records one replayed event and its outcome.
+type AppliedEvent struct {
+	Event ScriptEvent
+	// At is when the event was actually applied.
+	At time.Time
+	// Err is the target's verdict, nil on success.
+	Err error
+}
+
+// Replayer replays a Script against a target in real (simulated) time.
+type Replayer struct {
+	clk    clock.Clock
+	target ScriptTarget
+	script Script
+
+	mu      sync.Mutex
+	applied []AppliedEvent
+	started bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewReplayer creates a replayer; Start begins the trace.
+func NewReplayer(clk clock.Clock, target ScriptTarget, s Script) *Replayer {
+	return &Replayer{
+		clk:    clk,
+		target: target,
+		script: s,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Start launches the replay loop; offsets count from here.
+func (r *Replayer) Start() {
+	r.mu.Lock()
+	if r.started {
+		r.mu.Unlock()
+		return
+	}
+	r.started = true
+	r.mu.Unlock()
+	go r.run()
+}
+
+// Stop abandons any events not yet due and waits for the loop to exit.
+func (r *Replayer) Stop() {
+	r.mu.Lock()
+	if !r.started {
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+	<-r.done
+}
+
+// Wait blocks until every event has been applied (or Stop abandoned the
+// rest).
+func (r *Replayer) Wait() { <-r.done }
+
+// Applied returns the events replayed so far with their outcomes.
+func (r *Replayer) Applied() []AppliedEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]AppliedEvent(nil), r.applied...)
+}
+
+func (r *Replayer) run() {
+	defer close(r.done)
+	start := r.clk.Now()
+	for _, ev := range r.script.Events {
+		due := start.Add(ev.At)
+		if wait := due.Sub(r.clk.Now()); wait > 0 {
+			select {
+			case <-r.stop:
+				return
+			case <-r.clk.After(wait):
+			}
+		}
+		var err error
+		switch ev.Action {
+		case ActionCrash:
+			err = r.target.CrashMachine(ev.Machine)
+		case ActionRecover:
+			err = r.target.RecoverMachine(ev.Machine)
+		}
+		r.mu.Lock()
+		r.applied = append(r.applied, AppliedEvent{Event: ev, At: r.clk.Now(), Err: err})
+		r.mu.Unlock()
+	}
+}

@@ -7,8 +7,10 @@ import (
 
 	"streamha/internal/cluster"
 	"streamha/internal/core"
+	"streamha/internal/machine"
 	"streamha/internal/metrics"
 	"streamha/internal/queue"
+	"streamha/internal/sched"
 	"streamha/internal/subjob"
 )
 
@@ -20,13 +22,18 @@ type SubjobDef struct {
 	PEs []subjob.PESpec
 	// Mode is the HA scheme.
 	Mode Mode
-	// Primary is the machine hosting the primary copy.
+	// Primary is the machine hosting the primary copy. Empty delegates the
+	// choice to the pipeline's Scheduler (required then).
 	Primary string
 	// Secondary is the machine hosting the standby side (AS second copy,
-	// PS store, hybrid standby). Required unless Mode is ModeNone.
+	// PS store, hybrid standby). Required unless Mode is ModeNone or a
+	// Scheduler resolves it — a scheduled standby never lands on the
+	// primary's machine or anywhere in its fault domain.
 	Secondary string
 	// Spare optionally hosts the hybrid's replacement standby after a
-	// fail-stop promotion.
+	// fail-stop promotion. A non-empty name must exist in the cluster.
+	// With a Scheduler, leaving it empty lets promotion ask for a host on
+	// demand instead of pinning one up front.
 	Spare string
 	// BatchSize overrides the per-PE batch size.
 	BatchSize int
@@ -111,6 +118,15 @@ type PipelineConfig struct {
 	// TrackIDs makes the sink retain per-ID delivery counts for
 	// exactly-once verification in tests.
 	TrackIDs bool
+	// Scheduler, when set, resolves placement requests (empty Primary /
+	// Secondary / Spare fields) against the cluster's schedulable pool and
+	// keeps every lifecycle re-armable: after a promotion or standby-machine
+	// death the lifecycle asks it for a fresh host instead of settling
+	// unprotected.
+	Scheduler *sched.Scheduler
+	// RearmInterval is the lifecycles' re-arm health-check period
+	// (default 100ms); meaningful only with a Scheduler.
+	RearmInterval time.Duration
 }
 
 // Group is one deployed subjob instance with its HA lifecycle. A legacy
@@ -176,6 +192,9 @@ type Pipeline struct {
 	linkStreams [][]string // linkStreams[i] feeds stage i; last entry feeds the sink
 	linkSplit   []*queue.Partitioner
 	reg         *metrics.Registry
+
+	// placer adapts cfg.Scheduler for the lifecycles; nil without one.
+	placer core.Placer
 }
 
 // defID resolves stage i's subjob name.
@@ -249,6 +268,9 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	}
 	p := &Pipeline{cfg: cfg}
 	cl := cfg.Cluster
+	if cfg.Scheduler != nil {
+		p.placer = newSchedPlacer(cl, cfg.Scheduler)
+	}
 
 	// Routing tables: one shared Partitioner per keyed-parallel link. Every
 	// producer of the link routes through the same table and every HA copy
@@ -374,9 +396,16 @@ func (p *Pipeline) buildGroup(i, k int, def SubjobDef) (*Group, error) {
 		}
 	}
 
-	priM := cl.Machine(def.primaryOf(k))
-	if priM == nil {
-		return nil, fmt.Errorf("ha: subjob %s: unknown primary machine %q", spec.ID, def.primaryOf(k))
+	pol := policyFor(def.Mode, p.cfg.Hybrid, p.cfg.PS, p.cfg.Approx, p.cfg.AckInterval)
+	priM, secM, spareM, err := resolvePlacement(cl, p.placer, placementReq{
+		Subjob:       spec.ID,
+		Primary:      def.primaryOf(k),
+		Secondary:    def.secondaryOf(k),
+		Spare:        def.spareOf(k),
+		NeedsStandby: pol.NeedsStandbyMachine(),
+	})
+	if err != nil {
+		return nil, err
 	}
 	primary, err := subjob.New(spec, priM, false)
 	if err != nil {
@@ -385,11 +414,6 @@ func (p *Pipeline) buildGroup(i, k int, def SubjobDef) (*Group, error) {
 	plumb(primary)
 	primary.Start()
 
-	pol := policyFor(def.Mode, p.cfg.Hybrid, p.cfg.PS, p.cfg.Approx, p.cfg.AckInterval)
-	secM := cl.Machine(def.secondaryOf(k))
-	if pol.NeedsStandbyMachine() && secM == nil {
-		return nil, fmt.Errorf("ha: subjob %s: unknown secondary machine %q", spec.ID, def.secondaryOf(k))
-	}
 	var secondary *subjob.Runtime
 	if create, suspended := pol.PreDeploy(); create {
 		secondary, err = subjob.New(spec, secM, suspended)
@@ -407,11 +431,62 @@ func (p *Pipeline) buildGroup(i, k int, def SubjobDef) (*Group, error) {
 		Primary:          primary,
 		Secondary:        secondary,
 		SecondaryMachine: secM,
-		SpareMachine:     cl.Machine(def.spareOf(k)), // nil if unset
+		SpareMachine:     spareM, // nil if unset
 		Wiring:           p.wiringFor(i, g),
 		Policy:           pol,
+		Placer:           p.placer,
+		RearmInterval:    p.cfg.RearmInterval,
 	})
 	return g, nil
+}
+
+// placementReq carries one group's machine names into resolvePlacement;
+// empty names are placement requests when a placer is available.
+type placementReq struct {
+	Subjob       string
+	Primary      string
+	Secondary    string
+	Spare        string
+	NeedsStandby bool
+}
+
+// resolvePlacement turns a group's machine names into machines. Named
+// machines must exist — including the spare, whose absence would
+// otherwise surface only as a silent nil at promotion time. Empty names
+// are resolved through the placer when one is bound: the primary goes
+// wherever capacity is, the standby anywhere outside the primary's fault
+// domain. An empty spare stays nil — with a placer, promotion requests a
+// replacement on demand.
+func resolvePlacement(cl *cluster.Cluster, placer core.Placer, req placementReq) (priM, secM, spareM *machine.Machine, err error) {
+	if req.Primary == "" && placer != nil {
+		priM = placer.PlacePrimary(req.Subjob, nil)
+		if priM == nil {
+			return nil, nil, nil, fmt.Errorf("ha: subjob %s: no schedulable capacity for primary", req.Subjob)
+		}
+	} else {
+		priM = cl.Machine(req.Primary)
+		if priM == nil {
+			return nil, nil, nil, fmt.Errorf("ha: subjob %s: unknown primary machine %q", req.Subjob, req.Primary)
+		}
+	}
+	if req.Secondary == "" && placer != nil && req.NeedsStandby {
+		secM = placer.PlaceStandby(req.Subjob, priM)
+		if secM == nil {
+			return nil, nil, nil, fmt.Errorf("ha: subjob %s: no schedulable capacity for standby outside the primary's fault domain", req.Subjob)
+		}
+	} else {
+		secM = cl.Machine(req.Secondary)
+		if req.NeedsStandby && secM == nil {
+			return nil, nil, nil, fmt.Errorf("ha: subjob %s: unknown secondary machine %q", req.Subjob, req.Secondary)
+		}
+	}
+	if req.Spare != "" {
+		spareM = cl.Machine(req.Spare)
+		if spareM == nil {
+			return nil, nil, nil, fmt.Errorf("ha: subjob %s: unknown spare machine %q", req.Subjob, req.Spare)
+		}
+	}
+	return priM, secM, spareM, nil
 }
 
 // producerOutputs returns the output queues feeding link i

@@ -231,3 +231,26 @@ func TestPipelineHybridSurvivesFailStopPromotion(t *testing.T) {
 	}
 	verifyExactlyOnce(t, p, 200)
 }
+
+func TestPipelineRejectsUnknownSpare(t *testing.T) {
+	cl := cluster.New(cluster.Config{})
+	defer cl.Close()
+	for _, id := range []string{"m-src", "m-sink", "p1", "s1"} {
+		cl.MustAddMachine(id)
+	}
+	_, err := ha.NewPipeline(ha.PipelineConfig{
+		Cluster:     cl,
+		JobID:       "job",
+		Source:      ha.SourceDef{Machine: "m-src", Rate: 100},
+		SinkMachine: "m-sink",
+		Subjobs: []ha.SubjobDef{{
+			PEs: []subjob.PESpec{
+				{Name: "pe-a", NewLogic: func() pe.Logic { return &pe.CounterLogic{Pad: 10} }, Cost: 10 * time.Microsecond},
+			},
+			Mode: ha.ModeHybrid, Primary: "p1", Secondary: "s1", Spare: "ghost",
+		}},
+	})
+	if err == nil {
+		t.Fatal("unknown spare machine accepted; it would surface only as a nil at promotion time")
+	}
+}

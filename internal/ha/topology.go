@@ -7,6 +7,7 @@ import (
 	"streamha/internal/cluster"
 	"streamha/internal/core"
 	"streamha/internal/queue"
+	"streamha/internal/sched"
 	"streamha/internal/subjob"
 )
 
@@ -74,6 +75,10 @@ type TopologyConfig struct {
 	PS          PSOptions
 	Approx      core.ErrorBudget
 	AckInterval time.Duration
+	// Scheduler and RearmInterval enable scheduler-resolved placement and
+	// automatic re-arm, as in PipelineConfig.
+	Scheduler     *sched.Scheduler
+	RearmInterval time.Duration
 }
 
 // Topology is a deployed DAG job.
@@ -83,6 +88,7 @@ type Topology struct {
 	sinks   map[string]*cluster.Sink
 	groups  map[string]*Group
 	order   []string // subjobs in topological order
+	placer  core.Placer
 }
 
 // NewTopology builds and wires the DAG; call Start to begin processing.
@@ -101,6 +107,9 @@ func NewTopology(cfg TopologyConfig) (*Topology, error) {
 		groups:  make(map[string]*Group),
 	}
 	cl := cfg.Cluster
+	if cfg.Scheduler != nil {
+		t.placer = newSchedPlacer(cl, cfg.Scheduler)
+	}
 
 	names := map[string]bool{}
 	for _, s := range cfg.Sources {
@@ -298,9 +307,16 @@ func (t *Topology) buildGroup(def TopologySubjob) (*Group, error) {
 		PEs:       def.PEs,
 		BatchSize: def.BatchSize,
 	}
-	priM := cl.Machine(def.Primary)
-	if priM == nil {
-		return nil, fmt.Errorf("ha: subjob %s: unknown primary machine %q", def.ID, def.Primary)
+	pol := policyFor(def.Mode, t.cfg.Hybrid, t.cfg.PS, t.cfg.Approx, t.cfg.AckInterval)
+	priM, secM, spareM, err := resolvePlacement(cl, t.placer, placementReq{
+		Subjob:       spec.ID,
+		Primary:      def.Primary,
+		Secondary:    def.Secondary,
+		Spare:        def.Spare,
+		NeedsStandby: pol.NeedsStandbyMachine(),
+	})
+	if err != nil {
+		return nil, err
 	}
 	primary, err := subjob.New(spec, priM, false)
 	if err != nil {
@@ -308,13 +324,9 @@ func (t *Topology) buildGroup(def TopologySubjob) (*Group, error) {
 	}
 	primary.Start()
 
-	pol := policyFor(def.Mode, t.cfg.Hybrid, t.cfg.PS, t.cfg.Approx, t.cfg.AckInterval)
-	if pol.NeedsStandbyMachine() && cl.Machine(def.Secondary) == nil {
-		return nil, fmt.Errorf("ha: subjob %s: unknown secondary machine %q", def.ID, def.Secondary)
-	}
 	var secondary *subjob.Runtime
 	if create, suspended := pol.PreDeploy(); create {
-		secondary, err = subjob.New(spec, cl.Machine(def.Secondary), suspended)
+		secondary, err = subjob.New(spec, secM, suspended)
 		if err != nil {
 			return nil, err
 		}
@@ -336,10 +348,12 @@ func (t *Topology) buildGroup(def TopologySubjob) (*Group, error) {
 		Clock:            cl.Clock(),
 		Primary:          primary,
 		Secondary:        secondary,
-		SecondaryMachine: cl.Machine(def.Secondary),
-		SpareMachine:     cl.Machine(def.Spare),
+		SecondaryMachine: secM,
+		SpareMachine:     spareM,
 		Wiring:           t.wiringFor(def),
 		Policy:           pol,
+		Placer:           t.placer,
+		RearmInterval:    t.cfg.RearmInterval,
 	})
 	return g, nil
 }

@@ -174,3 +174,24 @@ func TestTopologyOrderIsTopological(t *testing.T) {
 		t.Fatalf("order %v not topological", topo.Order())
 	}
 }
+
+func TestTopologyRejectsUnknownSpare(t *testing.T) {
+	cl := cluster.New(cluster.Config{})
+	defer cl.Close()
+	for _, id := range []string{"m-src", "m-sink", "m-a", "m-a2"} {
+		cl.MustAddMachine(id)
+	}
+	_, err := ha.NewTopology(ha.TopologyConfig{
+		Cluster: cl,
+		JobID:   "dag",
+		Sources: []ha.TopologySource{{Name: "s", Machine: "m-src", Rate: 100}},
+		Subjobs: []ha.TopologySubjob{
+			{ID: "a", Inputs: []string{"s"}, PEs: cheapPEs(1), Mode: ha.ModeHybrid,
+				Primary: "m-a", Secondary: "m-a2", Spare: "ghost"},
+		},
+		Sinks: []ha.TopologySink{{Name: "out", Machine: "m-sink", Inputs: []string{"a"}}},
+	})
+	if err == nil {
+		t.Fatal("unknown spare machine accepted")
+	}
+}

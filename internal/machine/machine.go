@@ -20,11 +20,13 @@ type Machine struct {
 	net transport.Network
 	ep  transport.Endpoint
 
-	mu       sync.RWMutex
-	streams  map[string]transport.Handler
-	crashed  bool
-	onCrash  []func()
-	stopOnce sync.Once
+	mu        sync.RWMutex
+	streams   map[string]transport.Handler
+	crashed   bool
+	closed    bool
+	onCrash   []func()
+	onRestart []func()
+	stopOnce  sync.Once
 }
 
 // New registers a machine named id on the network and returns it.
@@ -84,6 +86,16 @@ func (m *Machine) OnCrash(f func()) {
 	m.onCrash = append(m.onCrash, f)
 }
 
+// OnRestart registers a hook invoked after the machine restarts. Unlike
+// crash hooks — which are wiped by Restart along with all hosted state —
+// restart hooks survive the crash/restart cycle; long-lived residents
+// (scheduler replicas) use them to re-register their stream handlers.
+func (m *Machine) OnRestart(f func()) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onRestart = append(m.onRestart, f)
+}
+
 // Crash fail-stops the machine: the network drops its traffic, its CPU
 // freezes, and crash hooks run. Hosted state is lost from the cluster's
 // point of view; recovery must redeploy.
@@ -115,10 +127,14 @@ func (m *Machine) Restart() {
 	m.crashed = false
 	m.streams = make(map[string]transport.Handler)
 	m.onCrash = nil
+	hooks := append([]func(){}, m.onRestart...)
 	m.mu.Unlock()
 
 	m.cpu.setStopped(false)
 	m.net.SetDown(m.id, false)
+	for _, f := range hooks {
+		f()
+	}
 }
 
 // Crashed reports whether the machine is currently failed-stop.
@@ -126,6 +142,23 @@ func (m *Machine) Crashed() bool {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return m.crashed
+}
+
+// Close deregisters the machine from the network, freeing its node id for
+// reuse. The machine is unusable afterwards; callers must have stopped or
+// migrated hosted components first.
+func (m *Machine) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.streams = make(map[string]transport.Handler)
+	m.onCrash = nil
+	m.onRestart = nil
+	m.mu.Unlock()
+	return m.ep.Close()
 }
 
 func (m *Machine) handle(from transport.NodeID, msg transport.Message) {

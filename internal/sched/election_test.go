@@ -1,0 +1,113 @@
+package sched_test
+
+import (
+	"testing"
+	"time"
+
+	"streamha/internal/sched"
+)
+
+func TestLeaderElected(t *testing.T) {
+	s, _, _ := testbed(t, 3)
+	waitFor(t, 2*time.Second, "a leader", func() bool { return s.Leader() != "" })
+}
+
+// TestLeaderKillReelection crashes the elected leader mid-stream and
+// checks that a new leader takes over, committed placements survive, new
+// placements keep working, and the recovered old leader catches up.
+func TestLeaderKillReelection(t *testing.T) {
+	s, net, _ := testbed(t, 3)
+	_ = net
+	if err := s.MemberUp("w1", "rack-a", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MemberUp("w2", "rack-b", 2); err != nil {
+		t.Fatal(err)
+	}
+	placed, err := s.Place(sched.Request{Subjob: "sj0", Role: sched.RolePrimary})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, 2*time.Second, "a leader", func() bool { return s.Leader() != "" })
+	old := s.Leader()
+	var oldNode *sched.Node
+	for _, n := range s.Nodes() {
+		if n.Status().ID == old {
+			oldNode = n
+		}
+	}
+	for _, m := range s.Replicas() {
+		if string(m.ID()) == old {
+			m.Crash()
+		}
+	}
+
+	waitFor(t, 3*time.Second, "re-election", func() bool {
+		l := s.Leader()
+		return l != "" && l != old
+	})
+	if got, ok := s.Assignment("sj0", sched.RolePrimary); !ok || got != placed {
+		t.Fatalf("assignment after leader kill = %q,%v want %q,true", got, ok, placed)
+	}
+	again, err := s.Place(sched.Request{Subjob: "sj1", Role: sched.RolePrimary})
+	if err != nil {
+		t.Fatalf("place under new leader: %v", err)
+	}
+	if again == "" {
+		t.Fatalf("empty placement under new leader")
+	}
+
+	// Recover the old leader; its log must converge with the new leader's.
+	for _, m := range s.Replicas() {
+		if string(m.ID()) == old {
+			m.Restart()
+		}
+	}
+	waitFor(t, 3*time.Second, "old leader catch-up", func() bool {
+		st := oldNode.Status()
+		v := oldNode.CommittedView()
+		return st.Role != "leader" || st.ID == s.Leader() ||
+			v.Assignments["sj1/primary"] == again
+	})
+	waitFor(t, 3*time.Second, "old leader log convergence", func() bool {
+		v := oldNode.CommittedView()
+		return v.Assignments["sj0/primary"] == placed && v.Assignments["sj1/primary"] == again
+	})
+}
+
+// TestPlacementLogReplayConverges checks every replica's committed view
+// replays to the same assignments after a batch of operations.
+func TestPlacementLogReplayConverges(t *testing.T) {
+	s, _, _ := testbed(t, 3)
+	for id, dom := range map[string]string{"w1": "rack-a", "w2": "rack-b", "w3": "rack-c"} {
+		if err := s.MemberUp(id, dom, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Place(sched.Request{Subjob: "sj0", Role: sched.RolePrimary}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Place(sched.Request{Subjob: "sj0", Role: sched.RoleStandby, AvoidDomains: []string{"rack-a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Release("sj0", sched.RoleStandby); err != nil {
+		t.Fatal(err)
+	}
+
+	want := s.View().Assignments
+	waitFor(t, 3*time.Second, "replica convergence", func() bool {
+		for _, n := range s.Nodes() {
+			v := n.CommittedView()
+			if len(v.Assignments) != len(want) {
+				return false
+			}
+			for k, m := range want {
+				if v.Assignments[k] != m {
+					return false
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,207 @@
+// Package sched is the cluster-level scheduler: it tracks live machine
+// membership, capacity and fault-domain labels, and resolves placement
+// *requests* into machine names instead of relying on statically
+// configured standbys. Every membership change and placement decision is
+// an entry in a small replicated placement log — one leader, majority-ack
+// followers exchanging messages over the transport layer — so decisions
+// are agreed rather than guessed, and the scheduler itself survives
+// machine crashes and recoveries.
+//
+// Placement follows the correlated-failure rule from Su & Zhou: a subjob's
+// primary and standby copies must never share a fault domain, and among
+// the eligible machines the scheduler prefers the least-occupied domain
+// first, then the machine with the most free capacity.
+package sched
+
+import "sort"
+
+// Role labels which side of a subjob a placement hosts.
+type Role string
+
+const (
+	// RolePrimary is the active copy of a subjob.
+	RolePrimary Role = "primary"
+	// RoleStandby is the suspended (or checkpoint-holding) standby side.
+	RoleStandby Role = "standby"
+)
+
+// Op enumerates placement-log entry kinds.
+type Op string
+
+const (
+	// OpLeader is the no-op entry a freshly elected leader appends to
+	// commit its term; replayed, it counts leader changes.
+	OpLeader Op = "leader"
+	// OpMemberUp admits a machine (or re-admits it after recovery) with a
+	// fault-domain label and a slot capacity.
+	OpMemberUp Op = "member-up"
+	// OpMemberDown records a crash or removal: the machine stops being
+	// schedulable and every slot it held is freed.
+	OpMemberDown Op = "member-down"
+	// OpDrain keeps a machine's existing slots but stops new placements.
+	OpDrain Op = "drain"
+	// OpPlace assigns one subjob role to a machine, freeing any previous
+	// assignment of the same slot.
+	OpPlace Op = "place"
+	// OpRelease frees one subjob role's slot.
+	OpRelease Op = "release"
+	// OpReleaseJob frees every slot a subjob holds.
+	OpReleaseJob Op = "release-job"
+)
+
+// Entry is one replicated placement-log record.
+type Entry struct {
+	Term     uint64 `json:"term"`
+	Op       Op     `json:"op"`
+	Machine  string `json:"machine,omitempty"`
+	Domain   string `json:"domain,omitempty"`
+	Capacity int    `json:"capacity,omitempty"`
+	Subjob   string `json:"subjob,omitempty"`
+	Role     Role   `json:"role,omitempty"`
+}
+
+// Member is one machine's schedulability state in a View.
+type Member struct {
+	ID       string `json:"id"`
+	Domain   string `json:"domain"`
+	Capacity int    `json:"capacity"`
+	Up       bool   `json:"up"`
+	Draining bool   `json:"draining"`
+	Used     int    `json:"used"`
+}
+
+// View is the placement state obtained by replaying a log prefix: who is
+// schedulable, and which machine each subjob role occupies. The log stays
+// tiny (membership churn and placements, not data), so the state is always
+// recomputed from scratch rather than applied incrementally.
+type View struct {
+	Members       map[string]*Member `json:"members"`
+	Assignments   map[string]string  `json:"assignments"`
+	Placements    int                `json:"placements"`
+	LeaderChanges int                `json:"leader_changes"`
+}
+
+func slotKey(subjob string, role Role) string { return subjob + "/" + string(role) }
+
+func replay(log []Entry) *View {
+	v := &View{
+		Members:     make(map[string]*Member),
+		Assignments: make(map[string]string),
+	}
+	for i := range log {
+		v.apply(&log[i])
+	}
+	return v
+}
+
+func (v *View) apply(e *Entry) {
+	switch e.Op {
+	case OpLeader:
+		v.LeaderChanges++
+	case OpMemberUp:
+		m := v.Members[e.Machine]
+		if m == nil {
+			m = &Member{ID: e.Machine}
+			v.Members[e.Machine] = m
+		}
+		m.Domain = e.Domain
+		m.Capacity = e.Capacity
+		m.Up = true
+		m.Draining = false
+	case OpMemberDown:
+		m := v.Members[e.Machine]
+		if m == nil {
+			return
+		}
+		m.Up = false
+		for k, id := range v.Assignments {
+			if id == e.Machine {
+				delete(v.Assignments, k)
+				m.Used--
+			}
+		}
+	case OpDrain:
+		if m := v.Members[e.Machine]; m != nil {
+			m.Draining = true
+		}
+	case OpPlace:
+		m := v.Members[e.Machine]
+		if m == nil {
+			return
+		}
+		v.release(slotKey(e.Subjob, e.Role))
+		v.Assignments[slotKey(e.Subjob, e.Role)] = e.Machine
+		m.Used++
+		v.Placements++
+	case OpRelease:
+		v.release(slotKey(e.Subjob, e.Role))
+	case OpReleaseJob:
+		v.release(slotKey(e.Subjob, RolePrimary))
+		v.release(slotKey(e.Subjob, RoleStandby))
+	}
+}
+
+func (v *View) release(key string) {
+	old, ok := v.Assignments[key]
+	if !ok {
+		return
+	}
+	if m := v.Members[old]; m != nil {
+		m.Used--
+	}
+	delete(v.Assignments, key)
+}
+
+func (v *View) domainUsed(domain string) int {
+	used := 0
+	for _, m := range v.Members {
+		if m.Up && m.Domain == domain {
+			used += m.Used
+		}
+	}
+	return used
+}
+
+// Request asks the scheduler for a machine to host one subjob role.
+// AvoidDomains carries the anti-affinity rule (a standby request names the
+// primary's fault domain); AvoidMachines excludes individual hosts.
+type Request struct {
+	Subjob        string
+	Role          Role
+	AvoidDomains  []string
+	AvoidMachines []string
+}
+
+// choose resolves req against v: the least-occupied eligible fault domain
+// first, then the machine with the most free slots, ties broken by name so
+// the decision is deterministic. Returns "" when no machine qualifies.
+func choose(v *View, req Request) string {
+	avoidDom := make(map[string]bool, len(req.AvoidDomains))
+	for _, d := range req.AvoidDomains {
+		avoidDom[d] = true
+	}
+	avoidM := make(map[string]bool, len(req.AvoidMachines))
+	for _, id := range req.AvoidMachines {
+		avoidM[id] = true
+	}
+	ids := make([]string, 0, len(v.Members))
+	for id := range v.Members {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	best := ""
+	bestDom, bestFree := 0, 0
+	for _, id := range ids {
+		m := v.Members[id]
+		if !m.Up || m.Draining || m.Used >= m.Capacity || avoidM[id] || avoidDom[m.Domain] {
+			continue
+		}
+		dom := v.domainUsed(m.Domain)
+		free := m.Capacity - m.Used
+		if best == "" || dom < bestDom || (dom == bestDom && free > bestFree) {
+			best, bestDom, bestFree = id, dom, free
+		}
+	}
+	return best
+}

@@ -1,0 +1,185 @@
+package sched_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"streamha/internal/clock"
+	"streamha/internal/machine"
+	"streamha/internal/sched"
+	"streamha/internal/transport"
+)
+
+// testbed builds a scheduler over n replica machines on a fresh in-memory
+// network with a short protocol cadence, plus the network for admitting
+// worker machines.
+func testbed(t *testing.T, n int) (*sched.Scheduler, *transport.Mem, clock.Clock) {
+	t.Helper()
+	clk := clock.New()
+	net := transport.NewMem(transport.MemConfig{Clock: clk, Latency: 100 * time.Microsecond})
+	var reps []*machine.Machine
+	for i := 0; i < n; i++ {
+		m, err := machine.New("sched-"+string(rune('a'+i)), clk, net)
+		if err != nil {
+			t.Fatalf("machine: %v", err)
+		}
+		reps = append(reps, m)
+	}
+	s, err := sched.New(sched.Config{
+		Clock:           clk,
+		Replicas:        reps,
+		Tick:            5 * time.Millisecond,
+		ElectionTimeout: 40 * time.Millisecond,
+		ProposeTimeout:  2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("sched.New: %v", err)
+	}
+	s.Start()
+	t.Cleanup(s.Stop)
+	t.Cleanup(net.Close)
+	return s, net, clk
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestPlacementSpreadsAcrossDomains(t *testing.T) {
+	s, _, _ := testbed(t, 3)
+	for id, dom := range map[string]string{"w1": "rack-a", "w2": "rack-a", "w3": "rack-b", "w4": "rack-b"} {
+		if err := s.MemberUp(id, dom, 2); err != nil {
+			t.Fatalf("MemberUp(%s): %v", id, err)
+		}
+	}
+
+	pri, err := s.Place(sched.Request{Subjob: "sj0", Role: sched.RolePrimary})
+	if err != nil {
+		t.Fatalf("place primary: %v", err)
+	}
+	if pri != "w1" {
+		t.Fatalf("primary placed on %q, want deterministic w1", pri)
+	}
+	sec, err := s.Place(sched.Request{Subjob: "sj0", Role: sched.RoleStandby, AvoidDomains: []string{"rack-a"}, AvoidMachines: []string{pri}})
+	if err != nil {
+		t.Fatalf("place standby: %v", err)
+	}
+	if sec != "w3" {
+		t.Fatalf("standby placed on %q, want w3 (other domain)", sec)
+	}
+
+	// Second subjob: same-domain spread prefers the emptier machine.
+	pri2, err := s.Place(sched.Request{Subjob: "sj1", Role: sched.RolePrimary})
+	if err != nil {
+		t.Fatalf("place sj1 primary: %v", err)
+	}
+	if pri2 != "w2" {
+		t.Fatalf("sj1 primary on %q, want w2 (most free in least-used domain)", pri2)
+	}
+
+	// Exhaust capacity, then expect a denial.
+	for i := 0; i < 5; i++ {
+		if _, err := s.Place(sched.Request{Subjob: "fill", Role: sched.Role(string(rune('0' + i)))}); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	if _, err := s.Place(sched.Request{Subjob: "over", Role: sched.RolePrimary}); !errors.Is(err, sched.ErrNoCapacity) {
+		t.Fatalf("overcommit err = %v, want ErrNoCapacity", err)
+	}
+	if st := s.Stats(); st.Denials != 1 {
+		t.Fatalf("denials = %d, want 1", st.Denials)
+	}
+}
+
+func TestMemberDownFreesSlots(t *testing.T) {
+	s, _, _ := testbed(t, 3)
+	if err := s.MemberUp("w1", "rack-a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MemberUp("w2", "rack-b", 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Place(sched.Request{Subjob: "sj0", Role: sched.RolePrimary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MemberDown(got); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Assignment("sj0", sched.RolePrimary); ok {
+		t.Fatalf("assignment survived MemberDown")
+	}
+	// The slot is free again after the machine recovers.
+	if err := s.MemberUp(got, "rack-a", 1); err != nil {
+		t.Fatal(err)
+	}
+	re, err := s.Place(sched.Request{Subjob: "sj0", Role: sched.RolePrimary, AvoidMachines: []string{"w2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re != got {
+		t.Fatalf("replacement on %q, want recovered %q", re, got)
+	}
+}
+
+func TestDrainExcludesFromNewPlacements(t *testing.T) {
+	s, _, _ := testbed(t, 1)
+	if err := s.MemberUp("w1", "rack-a", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MemberUp("w2", "rack-b", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Place(sched.Request{Subjob: "sj0", Role: sched.RolePrimary}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain("w2"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Place(sched.Request{Subjob: "sj1", Role: sched.RolePrimary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == "w2" {
+		t.Fatalf("placement chose draining machine")
+	}
+	// Existing slots survive the drain.
+	if _, ok := s.Assignment("sj0", sched.RolePrimary); !ok {
+		t.Fatalf("drain dropped an existing assignment")
+	}
+}
+
+func TestAssignAndRelease(t *testing.T) {
+	s, _, _ := testbed(t, 1)
+	if err := s.MemberUp("w1", "rack-a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Assign("sj0", sched.RolePrimary, "w1"); err != nil {
+		t.Fatal(err)
+	}
+	if id, ok := s.Assignment("sj0", sched.RolePrimary); !ok || id != "w1" {
+		t.Fatalf("assignment = %q,%v want w1,true", id, ok)
+	}
+	if err := s.Assign("sj0", sched.RoleStandby, "ghost"); !errors.Is(err, sched.ErrUnknownMember) {
+		t.Fatalf("assign to unknown member err = %v, want ErrUnknownMember", err)
+	}
+	if err := s.ReleaseJob("sj0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Assignment("sj0", sched.RolePrimary); ok {
+		t.Fatalf("assignment survived ReleaseJob")
+	}
+	// Slot is reusable.
+	if _, err := s.Place(sched.Request{Subjob: "sj1", Role: sched.RolePrimary}); err != nil {
+		t.Fatalf("place after release: %v", err)
+	}
+}

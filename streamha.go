@@ -36,8 +36,10 @@ import (
 	"streamha/internal/element"
 	"streamha/internal/failure"
 	"streamha/internal/ha"
+	"streamha/internal/machine"
 	"streamha/internal/metrics"
 	"streamha/internal/pe"
+	"streamha/internal/sched"
 	"streamha/internal/subjob"
 )
 
@@ -58,6 +60,8 @@ type (
 	Cluster = cluster.Cluster
 	// ClusterConfig configures a cluster (network latency, clock).
 	ClusterConfig = cluster.Config
+	// Machine is one simulated cluster machine.
+	Machine = machine.Machine
 )
 
 // Job deployment.
@@ -115,6 +119,23 @@ const (
 	Approx = ha.ModeApprox
 )
 
+// Cluster scheduling: consensus-backed, fault-domain-aware placement.
+type (
+	// Scheduler resolves placement requests against live membership,
+	// capacity and fault domains, backed by a replicated placement log.
+	// Bind one to a cluster with Cluster.BindScheduler; pipelines whose
+	// SubjobDefs name no machines then resolve placement through it, and
+	// re-arm protection automatically after promotions and standby loss.
+	Scheduler = sched.Scheduler
+	// SchedulerConfig configures a scheduler (log replicas, timers).
+	SchedulerConfig = sched.Config
+	// PlacementRequest asks the scheduler for one machine, with optional
+	// anti-affinity (machines and fault domains to avoid).
+	PlacementRequest = sched.Request
+	// RearmEvent records one scheduler-driven protection repair.
+	RearmEvent = core.RearmEvent
+)
+
 // Failure injection.
 type (
 	// Injector drives transient CPU-load spikes on one machine.
@@ -123,6 +144,10 @@ type (
 	InjectorConfig = failure.InjectorConfig
 	// Spike is one ground-truth transient failure interval.
 	Spike = failure.Spike
+	// FailureScript is a parsed fail-stop trace ("0ms crash w1", ...).
+	FailureScript = failure.Script
+	// ScriptReplayer replays a FailureScript against a cluster.
+	ScriptReplayer = failure.Replayer
 )
 
 // Arrival patterns for the failure injector.
@@ -172,6 +197,20 @@ func NewTopology(cfg TopologyConfig) (*Topology, error) { return ha.NewTopology(
 // NewInjector creates a transient-failure injector; call Start to begin
 // injecting load spikes.
 func NewInjector(cfg InjectorConfig) *Injector { return failure.NewInjector(cfg) }
+
+// NewScheduler creates a cluster scheduler; call Start, then bind it with
+// Cluster.BindScheduler so machines added afterwards become schedulable.
+func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) { return sched.New(cfg) }
+
+// ParseFailureScript parses a fail-stop trace, one "<offset> <action>
+// <machine>" event per line (e.g. "2s crash w3").
+var ParseFailureScript = failure.ParseScript
+
+// NewScriptReplayer creates a replayer that applies a failure script's
+// crash/recover events to a cluster on the script's schedule.
+func NewScriptReplayer(cl *Cluster, s FailureScript) *ScriptReplayer {
+	return failure.NewReplayer(cl.Clock(), cl, s)
+}
 
 // NewRegistry creates an empty metrics registry (the zero value also
 // works); register a deployed pipeline with Pipeline.RegisterMetrics.
